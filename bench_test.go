@@ -1,0 +1,311 @@
+package pnetcdf_test
+
+// Benchmarks regenerating the paper's evaluation, one per figure series
+// (plus the design-choice ablations and substrate microbenchmarks). Virtual
+// bandwidths are reported as "sim-MB/s" custom metrics; wall-clock ns/op
+// measures the simulator itself. Paper-scale runs live in
+// cmd/pnetcdf-bench and cmd/flashio-bench.
+
+import (
+	"testing"
+
+	"pnetcdf/internal/bench"
+	"pnetcdf/internal/cdf"
+	"pnetcdf/internal/flash"
+	"pnetcdf/internal/mpi"
+	"pnetcdf/internal/mpitype"
+	"pnetcdf/internal/nctype"
+	"pnetcdf/internal/netcdf"
+)
+
+// fig6Dims is a 16 MB array: big enough for the cost model's asymptotics,
+// small enough for `go test -bench`.
+var fig6Dims = [3]int64{128, 128, 256}
+
+func benchFig6(b *testing.B, read bool, part bench.Partition, procs int) {
+	b.ReportAllocs()
+	var last *bench.Figure6
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.RunFigure6(bench.Fig6Options{
+			Machine:    bench.SDSCBlueHorizon(),
+			Dims:       fig6Dims,
+			Procs:      []int{procs},
+			Partitions: []bench.Partition{part},
+			Read:       read,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = fig
+	}
+	b.ReportMetric(last.Points[part][0], "sim-MB/s")
+	b.ReportMetric(last.SerialMBps, "serial-sim-MB/s")
+}
+
+// Figure 6, write chart: one series per partition at 8 processes, plus the
+// process-count sweep for the Z partition.
+func BenchmarkFigure6WriteZ8(b *testing.B)   { benchFig6(b, false, bench.PartZ, 8) }
+func BenchmarkFigure6WriteY8(b *testing.B)   { benchFig6(b, false, bench.PartY, 8) }
+func BenchmarkFigure6WriteX8(b *testing.B)   { benchFig6(b, false, bench.PartX, 8) }
+func BenchmarkFigure6WriteZY8(b *testing.B)  { benchFig6(b, false, bench.PartZY, 8) }
+func BenchmarkFigure6WriteZX8(b *testing.B)  { benchFig6(b, false, bench.PartZX, 8) }
+func BenchmarkFigure6WriteYX8(b *testing.B)  { benchFig6(b, false, bench.PartYX, 8) }
+func BenchmarkFigure6WriteZYX8(b *testing.B) { benchFig6(b, false, bench.PartZYX, 8) }
+
+// Figure 6, read chart.
+func BenchmarkFigure6ReadZ8(b *testing.B) { benchFig6(b, true, bench.PartZ, 8) }
+func BenchmarkFigure6ReadX8(b *testing.B) { benchFig6(b, true, bench.PartX, 8) }
+
+// Process-count scaling (the growth the paper's Figure 6 shows).
+func BenchmarkFigure6WriteZ1(b *testing.B)  { benchFig6(b, false, bench.PartZ, 1) }
+func BenchmarkFigure6WriteZ2(b *testing.B)  { benchFig6(b, false, bench.PartZ, 2) }
+func BenchmarkFigure6WriteZ4(b *testing.B)  { benchFig6(b, false, bench.PartZ, 4) }
+func BenchmarkFigure6WriteZ16(b *testing.B) { benchFig6(b, false, bench.PartZ, 16) }
+
+// flashBenchCfg shrinks the FLASH run for test time while keeping the
+// structure (guard stripping, 24-variable checkpoint pattern scaled to 6).
+var flashBenchCfg = flash.Config{NXB: 8, NYB: 8, NZB: 8, NGuard: 4, NVar: 6, NPlotVar: 2, BlocksPerProc: 8}
+
+func benchFig7(b *testing.B, file bench.FlashFile, procs int) {
+	b.ReportAllocs()
+	var last *bench.Figure7
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.RunFigure7(bench.Fig7Options{
+			Machine: bench.ASCIFrost(),
+			Config:  flashBenchCfg,
+			File:    file,
+			Procs:   []int{procs},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = fig
+	}
+	b.ReportMetric(last.PnetCDF[0], "pnetcdf-sim-MB/s")
+	b.ReportMetric(last.HDF5[0], "hdf5-sim-MB/s")
+}
+
+// Figure 7: the six chart kinds (checkpoint / plotfile / corners) at two
+// process counts each.
+func BenchmarkFigure7Checkpoint8(b *testing.B)  { benchFig7(b, bench.FlashCheckpoint, 8) }
+func BenchmarkFigure7Checkpoint16(b *testing.B) { benchFig7(b, bench.FlashCheckpoint, 16) }
+func BenchmarkFigure7Plotfile8(b *testing.B)    { benchFig7(b, bench.FlashPlotfile, 8) }
+func BenchmarkFigure7Plotfile16(b *testing.B)   { benchFig7(b, bench.FlashPlotfile, 16) }
+func BenchmarkFigure7Corners8(b *testing.B)     { benchFig7(b, bench.FlashCorners, 8) }
+func BenchmarkFigure7Corners16(b *testing.B)    { benchFig7(b, bench.FlashCorners, 16) }
+
+// Ablations (DESIGN.md §5).
+func BenchmarkAblationTwoPhase(b *testing.B) {
+	var res bench.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.AblationTwoPhase(bench.SDSCBlueHorizon(), [3]int64{64, 64, 128}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Speedup(), "speedup")
+}
+
+func BenchmarkAblationSieving(b *testing.B) {
+	var res bench.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.AblationSieving(bench.SDSCBlueHorizon(), [3]int64{32, 64, 64}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Speedup(), "speedup")
+}
+
+func BenchmarkAblationHeaderStrategy(b *testing.B) {
+	var res bench.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.AblationHeaderStrategy(bench.SDSCBlueHorizon(), 300, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Speedup(), "speedup")
+}
+
+func BenchmarkAblationRecordBatch(b *testing.B) {
+	var res bench.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.AblationRecordBatch(bench.SDSCBlueHorizon(), 12, 2, 4, 16<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Speedup(), "speedup")
+}
+
+func BenchmarkAblationLayout(b *testing.B) {
+	var res bench.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.AblationLayout(bench.SDSCBlueHorizon(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Speedup(), "speedup")
+}
+
+// Substrate microbenchmarks: the real-CPU hot paths.
+
+func BenchmarkHeaderEncodeDecode(b *testing.B) {
+	h := &cdf.Header{Version: 2}
+	h.Dims = []cdf.Dim{{Name: "t", Len: 0}, {Name: "y", Len: 512}, {Name: "x", Len: 1024}}
+	for i := 0; i < 64; i++ {
+		h.Vars = append(h.Vars, cdf.Var{
+			Name: "var_number_" + string(rune('a'+i%26)) + string(rune('a'+i/26)),
+			Type: nctype.Float, DimIDs: []int{0, 1, 2},
+		})
+	}
+	if err := h.ComputeLayout(1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob := h.Encode()
+		if _, err := cdf.Decode(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXDREncodeFloat32(b *testing.B) {
+	src := make([]float32, 1<<16)
+	dst := make([]byte, 0, 4<<16)
+	b.SetBytes(4 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = cdf.EncodeSlice(dst[:0], nctype.Float, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCollectiveWrite(b *testing.B) {
+	// Wall-clock cost of one 4-rank collective write through the whole
+	// stack (simulator overhead, not simulated time).
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := bench.RunFigure6(bench.Fig6Options{
+			Machine:    bench.SDSCBlueHorizon(),
+			Dims:       [3]int64{32, 64, 64},
+			Procs:      []int{4},
+			Partitions: []bench.Partition{bench.PartZY},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMPIAllreduce(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		err := mpi.Run(8, mpi.DefaultNet(), func(c *mpi.Comm) error {
+			for j := 0; j < 10; j++ {
+				c.AllreduceI64([]int64{int64(c.Rank())}, mpi.OpSum)
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationVarAlign(b *testing.B) {
+	var res bench.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.AblationVarAlign(bench.SDSCBlueHorizon(), 12, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Speedup(), "speedup")
+}
+
+func BenchmarkAblationPrefetch(b *testing.B) {
+	var res bench.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.AblationPrefetch(bench.SDSCBlueHorizon(), 4, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Speedup(), "speedup")
+}
+
+func BenchmarkFigure7ReadBack(b *testing.B) {
+	// The §6 future-work experiment at bench scale.
+	b.ReportAllocs()
+	var last *bench.Figure7
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.RunFigure7(bench.Fig7Options{
+			Machine: bench.ASCIFrost(),
+			Config:  flashBenchCfg,
+			File:    bench.FlashCheckpoint,
+			Procs:   []int{8},
+			Read:    true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = fig
+	}
+	b.ReportMetric(last.PnetCDF[0], "pnetcdf-sim-MB/s")
+	b.ReportMetric(last.HDF5[0], "hdf5-sim-MB/s")
+}
+
+func BenchmarkSubarrayFlatten(b *testing.B) {
+	// The access-geometry hot path: X-partition of a 256^3 array produces
+	// 64k segments.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := mpitype.Subarray(
+			[]int64{256, 256, 256}, []int64{256, 256, 32}, []int64{0, 0, 64}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.NumSegments() != 256*256 {
+			b.Fatalf("segments = %d", d.NumSegments())
+		}
+	}
+}
+
+func BenchmarkSerialPutVara(b *testing.B) {
+	// Serial library throughput: 1 MB strided row writes through the page
+	// cache (wall-clock, measures the real library code).
+	store := &netcdf.MemStore{}
+	d, err := netcdf.Create(store, nctype.Clobber)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, _ := d.DefDim("y", 512)
+	x, _ := d.DefDim("x", 512)
+	v, _ := d.DefVar("v", nctype.Float, []int{y, x})
+	if err := d.EndDef(); err != nil {
+		b.Fatal(err)
+	}
+	row := make([]float32, 512)
+	b.SetBytes(512 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.PutVara(v, []int64{int64(i % 512), 0}, []int64{1, 512}, row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

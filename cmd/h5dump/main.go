@@ -1,0 +1,140 @@
+// Command h5dump prints the structure (and optionally data) of an h5sim
+// hierarchical container living in a simulated file system image produced
+// by `flashio-bench -keep` style runs, or — its main use — demonstrates the
+// comparator's self-describing format: it rebuilds a small container and
+// walks it.
+//
+// Because h5sim files live inside the simulated parallel file system (they
+// are the HDF5-side comparator, not an on-disk interchange format), this
+// tool synthesizes a demonstration container when run without arguments and
+// dumps it, exercising the full metadata path: superblock, group walks,
+// object headers, attributes, hyperslab reads.
+//
+// Usage:
+//
+//	h5dump            # build + dump the demo container
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"pnetcdf/internal/h5sim"
+	"pnetcdf/internal/mpi"
+	"pnetcdf/internal/nctype"
+	"pnetcdf/internal/pfs"
+)
+
+func main() {
+	fsys := pfs.New(pfs.DefaultConfig())
+	err := mpi.Run(1, mpi.DefaultNet(), func(c *mpi.Comm) error {
+		if err := build(c, fsys); err != nil {
+			return err
+		}
+		f, err := h5sim.OpenFile(c, fsys, "demo.h5", true, nil)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fmt.Println("HDF5-sim container \"demo.h5\" {")
+		if err := walk(f, "/", 0); err != nil {
+			return err
+		}
+		fmt.Println("}")
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func build(c *mpi.Comm, fsys *pfs.FS) error {
+	f, err := h5sim.CreateFile(c, fsys, "demo.h5", nil)
+	if err != nil {
+		return err
+	}
+	if err := f.CreateGroup("/simulation"); err != nil {
+		return err
+	}
+	ds, err := f.CreateDataset("/simulation/density", nctype.Double, []int64{2, 3})
+	if err != nil {
+		return err
+	}
+	if err := ds.PutAttr("units", nctype.Char, "g/cm3"); err != nil {
+		return err
+	}
+	if err := ds.WriteAll(h5sim.Select{Start: []int64{0, 0}, Count: []int64{2, 3}},
+		nil, []float64{1.1, 1.2, 1.3, 2.1, 2.2, 2.3}); err != nil {
+		return err
+	}
+	if err := ds.Close(); err != nil {
+		return err
+	}
+	small, err := f.CreateDataset("/step", nctype.Int, []int64{4})
+	if err != nil {
+		return err
+	}
+	if err := small.WriteAll(h5sim.Select{Start: []int64{0}, Count: []int64{4}},
+		nil, []int32{10, 20, 30, 40}); err != nil {
+		return err
+	}
+	if err := small.Close(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func walk(f *h5sim.File, path string, depth int) error {
+	names, err := f.List(path)
+	if err != nil {
+		return err
+	}
+	indent := strings.Repeat("   ", depth+1)
+	for _, name := range names {
+		child := path
+		if !strings.HasSuffix(child, "/") {
+			child += "/"
+		}
+		child += name
+		if f.IsGroup(child) {
+			fmt.Printf("%sGROUP %q {\n", indent, name)
+			if err := walk(f, child, depth+1); err != nil {
+				return err
+			}
+			fmt.Printf("%s}\n", indent)
+			continue
+		}
+		ds, err := f.OpenDataset(child)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%sDATASET %q { %s %v }\n", indent, name, ds.Type(), ds.Dims())
+		n := int64(1)
+		for _, d := range ds.Dims() {
+			n *= d
+		}
+		if n <= 16 {
+			sel := h5sim.Select{Start: make([]int64, len(ds.Dims())), Count: ds.Dims()}
+			switch ds.Type() {
+			case nctype.Double:
+				buf := make([]float64, n)
+				if err := ds.ReadAll(sel, nil, buf); err != nil {
+					return err
+				}
+				fmt.Printf("%s   DATA %v\n", indent, buf)
+			case nctype.Int:
+				buf := make([]int32, n)
+				if err := ds.ReadAll(sel, nil, buf); err != nil {
+					return err
+				}
+				fmt.Printf("%s   DATA %v\n", indent, buf)
+			}
+		}
+		if _, v, err := ds.GetAttr("units"); err == nil {
+			fmt.Printf("%s   ATTRIBUTE units = %q\n", indent, string(v.([]byte)))
+		}
+		ds.Close()
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+// Command ncgen compiles CDL text into a netCDF classic file, like the
+// Unidata ncgen utility (classic-model subset).
+//
+// Usage:
+//
+//	ncgen -o out.nc input.cdl
+//	ncgen -o out.nc -k 2 input.cdl   # CDF-2 (64-bit offsets)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pnetcdf/internal/cdl"
+	"pnetcdf/internal/nctype"
+	"pnetcdf/internal/netcdf"
+)
+
+var (
+	output = flag.String("o", "", "output netCDF file (required)")
+	kind   = flag.Int("k", 1, "file kind: 1=classic, 2=64-bit offset, 5=64-bit data")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 || *output == "" {
+		fmt.Fprintln(os.Stderr, "usage: ncgen -o out.nc [-k 1|2|5] input.cdl")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	schema, err := cdl.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.OpenFile(*output, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		fatal(err)
+	}
+	mode := nctype.Clobber
+	switch *kind {
+	case 2:
+		mode |= nctype.Bit64Offset
+	case 5:
+		mode |= nctype.Bit64Data
+	}
+	d, err := netcdf.Create(netcdf.OSStore{F: f}, mode)
+	if err != nil {
+		fatal(err)
+	}
+	if err := schema.Build(d); err != nil {
+		fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ncgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Command ncvalidate is an fsck for netCDF classic files: it decodes the
+// header, checks the structural rules (names, dimensions, types) and the
+// layout invariants (slot sizes, overlaps, record geometry, file size), and
+// reports everything it finds.
+//
+// Usage:
+//
+//	ncvalidate file.nc [more.nc ...]
+//
+// Exit status 0 if every file is clean, 1 otherwise.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pnetcdf/internal/cdf"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: ncvalidate file.nc [more.nc ...]")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		img, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ncvalidate: %v\n", err)
+			bad = true
+			continue
+		}
+		h, issues, err := cdf.CheckFile(img)
+		if err != nil {
+			fmt.Printf("%s: INVALID: %v\n", path, err)
+			bad = true
+			continue
+		}
+		if len(issues) > 0 {
+			fmt.Printf("%s: %d layout issue(s):\n", path, len(issues))
+			for _, iss := range issues {
+				fmt.Printf("  - %s\n", iss)
+			}
+			bad = true
+			continue
+		}
+		kind := map[int]string{1: "classic", 2: "64-bit offset", 5: "64-bit data"}[h.Version]
+		fmt.Printf("%s: OK (%s format, %d dims, %d vars, %d records)\n",
+			path, kind, len(h.Dims), len(h.Vars), h.NumRecs)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module pnetcdf
+
+go 1.22

@@ -1,0 +1,313 @@
+package access
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pnetcdf/internal/cdf"
+	"pnetcdf/internal/mpitype"
+	"pnetcdf/internal/nctype"
+)
+
+// fixture: dimensions t(unlimited), z=4, y=3, x=5; variables
+// float cube(z,y,x); int series(t,y,x).
+func fixture(t *testing.T) (*cdf.Header, *cdf.Var, *cdf.Var) {
+	t.Helper()
+	h := &cdf.Header{Version: 1}
+	h.Dims = []cdf.Dim{{Name: "t", Len: 0}, {Name: "z", Len: 4}, {Name: "y", Len: 3}, {Name: "x", Len: 5}}
+	h.Vars = []cdf.Var{
+		{Name: "cube", DimIDs: []int{1, 2, 3}, Type: nctype.Float},
+		{Name: "series", DimIDs: []int{0, 2, 3}, Type: nctype.Int},
+	}
+	if err := h.ComputeLayout(1); err != nil {
+		t.Fatal(err)
+	}
+	h.NumRecs = 6
+	return h, &h.Vars[0], &h.Vars[1]
+}
+
+func TestValidateBounds(t *testing.T) {
+	h, cube, series := fixture(t)
+	ok := func(v *cdf.Var, start, count, stride []int64, writing bool) error {
+		_, err := Validate(h, v, start, count, stride, writing)
+		return err
+	}
+	if err := ok(cube, []int64{0, 0, 0}, []int64{4, 3, 5}, nil, false); err != nil {
+		t.Fatalf("whole cube: %v", err)
+	}
+	if err := ok(cube, []int64{3, 2, 4}, []int64{1, 1, 1}, nil, false); err != nil {
+		t.Fatalf("last corner: %v", err)
+	}
+	if err := ok(cube, []int64{0, 0, 0}, []int64{5, 1, 1}, nil, false); err == nil {
+		t.Fatal("over-edge accepted")
+	}
+	if err := ok(cube, []int64{2, 0, 0}, []int64{2, 1, 1}, []int64{2, 1, 1}, false); err == nil {
+		t.Fatal("strided over-edge accepted (last index 4 >= bound 4)")
+	}
+	if err := ok(cube, []int64{0, 0, 0}, []int64{2, 1, 1}, []int64{2, 1, 1}, false); err != nil {
+		t.Fatalf("strided in-bounds rejected: %v", err)
+	}
+	if err := ok(cube, []int64{-1, 0, 0}, []int64{1, 1, 1}, nil, false); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	if err := ok(cube, []int64{0, 0, 0}, []int64{1, 1, 1}, []int64{0, 1, 1}, false); err == nil {
+		t.Fatal("zero stride accepted")
+	}
+	if err := ok(cube, []int64{0}, []int64{1}, nil, false); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	// Record variable: reads bounded by NumRecs, writes unbounded.
+	if err := ok(series, []int64{5, 0, 0}, []int64{1, 3, 5}, nil, false); err != nil {
+		t.Fatalf("read last record: %v", err)
+	}
+	if err := ok(series, []int64{6, 0, 0}, []int64{1, 3, 5}, nil, false); err == nil {
+		t.Fatal("read beyond NumRecs accepted")
+	}
+	req, err := Validate(h, series, []int64{100, 0, 0}, []int64{2, 3, 5}, nil, true)
+	if err != nil {
+		t.Fatalf("write beyond NumRecs rejected: %v", err)
+	}
+	if req.LastRecord != 101 {
+		t.Fatalf("LastRecord = %d, want 101", req.LastRecord)
+	}
+	if req.NElems != 2*3*5 {
+		t.Fatalf("NElems = %d", req.NElems)
+	}
+}
+
+// oracleOffsets lists, in buffer element order, the file byte offset of each
+// element of the request, computed the naive way.
+func oracleOffsets(h *cdf.Header, v *cdf.Var, req Request) []int64 {
+	elem := int64(v.Type.Size())
+	nd := len(v.DimIDs)
+	shape := make([]int64, nd)
+	for i, id := range v.DimIDs {
+		shape[i] = h.Dims[id].Len
+	}
+	isRec := h.IsRecordVar(v)
+	var out []int64
+	idx := make([]int64, nd)
+	var walk func(dim int)
+	walk = func(dim int) {
+		if dim == nd {
+			off := v.Begin
+			var inner int64
+			for i := 0; i < nd; i++ {
+				pos := req.Start[i] + idx[i]*req.Stride[i]
+				if i == 0 && isRec {
+					off += pos * h.RecSize()
+					continue
+				}
+				stride := elem
+				for j := i + 1; j < nd; j++ {
+					stride *= shape[j]
+				}
+				inner += pos * stride
+			}
+			out = append(out, off+inner)
+			return
+		}
+		for k := int64(0); k < req.Count[dim]; k++ {
+			idx[dim] = k
+			walk(dim + 1)
+		}
+	}
+	walk(0)
+	return out
+}
+
+func expandSegs(segs []mpitype.Segment, elem int64) []int64 {
+	var out []int64
+	for _, s := range segs {
+		for o := s.Off; o < s.Off+s.Len; o += elem {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func TestFileSegmentsOracleFixed(t *testing.T) {
+	h, cube, _ := fixture(t)
+	cases := []struct{ start, count, stride []int64 }{
+		{[]int64{0, 0, 0}, []int64{4, 3, 5}, nil},
+		{[]int64{1, 1, 1}, []int64{2, 2, 3}, nil},
+		{[]int64{0, 0, 0}, []int64{2, 2, 2}, []int64{2, 2, 2}},
+		{[]int64{3, 2, 4}, []int64{1, 1, 1}, nil},
+		{[]int64{0, 0, 1}, []int64{1, 3, 2}, []int64{1, 1, 3}},
+	}
+	for i, c := range cases {
+		req, err := Validate(h, cube, c.start, c.count, c.stride, false)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		segs := FileSegments(h, cube, req)
+		got := expandSegs(segs, 4)
+		want := oracleOffsets(h, cube, req)
+		if len(got) != len(want) {
+			t.Fatalf("case %d: %d offsets, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("case %d elem %d: off %d, want %d", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestFileSegmentsOracleRecord(t *testing.T) {
+	h, _, series := fixture(t)
+	cases := []struct{ start, count, stride []int64 }{
+		{[]int64{0, 0, 0}, []int64{6, 3, 5}, nil},
+		{[]int64{2, 1, 2}, []int64{3, 2, 2}, nil},
+		{[]int64{0, 0, 0}, []int64{3, 1, 5}, []int64{2, 1, 1}},
+		{[]int64{5, 2, 4}, []int64{1, 1, 1}, nil},
+	}
+	for i, c := range cases {
+		req, err := Validate(h, series, c.start, c.count, c.stride, false)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		segs := FileSegments(h, series, req)
+		got := expandSegs(segs, 4)
+		want := oracleOffsets(h, series, req)
+		if len(got) != len(want) {
+			t.Fatalf("case %d: %d offsets, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("case %d elem %d: off %d, want %d", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestQuickFileSegmentsOracle(t *testing.T) {
+	h, cube, series := fixture(t)
+	f := func(seed int64, rec bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := cube
+		if rec {
+			v = series
+		}
+		nd := len(v.DimIDs)
+		start := make([]int64, nd)
+		count := make([]int64, nd)
+		stride := make([]int64, nd)
+		for i := 0; i < nd; i++ {
+			bound := h.Dims[v.DimIDs[i]].Len
+			if i == 0 && rec {
+				bound = h.NumRecs
+			}
+			start[i] = rng.Int63n(bound)
+			stride[i] = rng.Int63n(3) + 1
+			maxCount := (bound-start[i]-1)/stride[i] + 1
+			count[i] = rng.Int63n(maxCount) + 1
+		}
+		req, err := Validate(h, v, start, count, stride, false)
+		if err != nil {
+			return false
+		}
+		got := expandSegs(FileSegments(h, v, req), 4)
+		want := oracleOffsets(h, v, req)
+		if len(got) != len(want) {
+			return false
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileViewMatchesSegments(t *testing.T) {
+	h, cube, _ := fixture(t)
+	req, err := Validate(h, cube, []int64{1, 0, 2}, []int64{2, 3, 2}, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := FileView(h, cube, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Size() != req.NElems*4 {
+		t.Fatalf("view size %d, want %d", view.Size(), req.NElems*4)
+	}
+	segs := FileSegments(h, cube, req)
+	vsegs := view.Segments()
+	if len(segs) != len(vsegs) {
+		t.Fatalf("view has %d segs, direct %d", len(vsegs), len(segs))
+	}
+	for i := range segs {
+		if segs[i] != vsegs[i] {
+			t.Fatalf("seg %d: %+v vs %+v", i, segs[i], vsegs[i])
+		}
+	}
+}
+
+func TestZeroCountRequests(t *testing.T) {
+	h, cube, _ := fixture(t)
+	req, err := Validate(h, cube, []int64{0, 0, 0}, []int64{0, 3, 5}, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.NElems != 0 {
+		t.Fatalf("NElems = %d", req.NElems)
+	}
+	if segs := FileSegments(h, cube, req); len(segs) != 0 {
+		t.Fatalf("zero-count produced segments: %v", segs)
+	}
+}
+
+func TestMemSegmentsNaturalAndMapped(t *testing.T) {
+	// Natural packing: one run.
+	segs, err := MemSegments([]int64{2, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 || segs[0] != (mpitype.Segment{Off: 0, Len: 6}) {
+		t.Fatalf("natural = %v", segs)
+	}
+	// Transposed 2x3 into column-major memory: imap = [1, 2].
+	segs, err = MemSegments([]int64{2, 3}, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mpitype.Segment{{Off: 0, Len: 1}, {Off: 2, Len: 1}, {Off: 4, Len: 1}, {Off: 1, Len: 1}, {Off: 3, Len: 1}, {Off: 5, Len: 1}}
+	if len(segs) != len(want) {
+		t.Fatalf("transposed = %v, want %v", segs, want)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("transposed = %v, want %v", segs, want)
+		}
+	}
+	// Row-major with padding between rows: imap = [4, 1] for 2x3.
+	segs, err = MemSegments([]int64{2, 3}, []int64{4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []mpitype.Segment{{Off: 0, Len: 3}, {Off: 4, Len: 3}}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("padded = %v, want %v", segs, want)
+		}
+	}
+	// Errors.
+	if _, err := MemSegments([]int64{2}, []int64{0}); err == nil {
+		t.Fatal("zero imap accepted")
+	}
+	if _, err := MemSegments([]int64{2}, []int64{1, 1}); err == nil {
+		t.Fatal("imap rank mismatch accepted")
+	}
+	// Zero count.
+	segs, err = MemSegments([]int64{0, 3}, []int64{3, 1})
+	if err != nil || segs != nil {
+		t.Fatalf("zero count: %v %v", segs, err)
+	}
+}

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+
+	"pnetcdf/internal/flash"
+	"pnetcdf/internal/mpi"
+	"pnetcdf/internal/pfs"
+)
+
+// FlashFile selects which of the three FLASH output files to benchmark.
+type FlashFile int
+
+// The three outputs of one FLASH I/O run.
+const (
+	FlashCheckpoint FlashFile = iota
+	FlashPlotfile
+	FlashCorners
+)
+
+// String names the output like the paper's chart titles.
+func (f FlashFile) String() string {
+	switch f {
+	case FlashCheckpoint:
+		return "Checkpoint"
+	case FlashPlotfile:
+		return "Plotfiles"
+	case FlashCorners:
+		return "Plotfiles w/corners"
+	}
+	return "?"
+}
+
+// Figure7 holds one chart of the paper's Figure 7: aggregate bandwidth of
+// one FLASH output file, PnetCDF vs the HDF5-style library, across process
+// counts.
+type Figure7 struct {
+	Machine string
+	File    FlashFile
+	Block   string // "8x8x8" or "16x16x16"
+	Procs   []int
+	PnetCDF []float64 // MB/s
+	HDF5    []float64 // MB/s
+}
+
+// Fig7Options configures a Figure 7 run.
+type Fig7Options struct {
+	Machine MachineSpec
+	Config  flash.Config
+	File    FlashFile
+	Procs   []int
+	Discard bool
+	// Read measures checkpoint read-back instead of writing — the paper's
+	// future-work comparison (§6). Only meaningful with FlashCheckpoint.
+	Read bool
+}
+
+// RunFigure7 measures one chart.
+func RunFigure7(opt Fig7Options) (*Figure7, error) {
+	block := fmt.Sprintf("%dx%dx%d", opt.Config.NXB, opt.Config.NYB, opt.Config.NZB)
+	if opt.Read {
+		block += ", read-back"
+	}
+	fig := &Figure7{
+		Machine: opt.Machine.Name,
+		File:    opt.File,
+		Block:   block,
+		Procs:   opt.Procs,
+	}
+	for _, p := range opt.Procs {
+		nc, err := runFlashOnce(opt, p, false)
+		if err != nil {
+			return nil, fmt.Errorf("pnetcdf %d procs: %w", p, err)
+		}
+		h5, err := runFlashOnce(opt, p, true)
+		if err != nil {
+			return nil, fmt.Errorf("hdf5 %d procs: %w", p, err)
+		}
+		fig.PnetCDF = append(fig.PnetCDF, nc.BandwidthMBps())
+		fig.HDF5 = append(fig.HDF5, h5.BandwidthMBps())
+	}
+	return fig, nil
+}
+
+func runFlashOnce(opt Fig7Options, nprocs int, hdf5 bool) (flash.Report, error) {
+	cfg := opt.Machine.FS
+	cfg.Discard = opt.Discard
+	fsys := pfs.New(cfg)
+	var rep flash.Report
+	err := mpi.Run(nprocs, opt.Machine.Net, func(c *mpi.Comm) error {
+		var r flash.Report
+		var err error
+		switch {
+		case opt.Read && hdf5:
+			if _, err = flash.WriteCheckpointH5(c, fsys, "f.h5", opt.Config, nil); err != nil {
+				return err
+			}
+			fsys.ResetClock()
+			c.Proc().SetClock(0)
+			c.Barrier()
+			r, err = flash.ReadCheckpointH5(c, fsys, "f.h5", opt.Config, nil)
+		case opt.Read:
+			if _, err = flash.WriteCheckpointPnetCDF(c, fsys, "f.nc", opt.Config, nil); err != nil {
+				return err
+			}
+			fsys.ResetClock()
+			c.Proc().SetClock(0)
+			c.Barrier()
+			r, err = flash.ReadCheckpointPnetCDF(c, fsys, "f.nc", opt.Config, nil)
+		case hdf5 && opt.File == FlashCheckpoint:
+			r, err = flash.WriteCheckpointH5(c, fsys, "f.h5", opt.Config, nil)
+		case hdf5 && opt.File == FlashPlotfile:
+			r, err = flash.WritePlotfileH5(c, fsys, "f.h5", opt.Config, nil)
+		case hdf5 && opt.File == FlashCorners:
+			r, err = flash.WriteCornerPlotfileH5(c, fsys, "f.h5", opt.Config, nil)
+		case opt.File == FlashCheckpoint:
+			r, err = flash.WriteCheckpointPnetCDF(c, fsys, "f.nc", opt.Config, nil)
+		case opt.File == FlashPlotfile:
+			r, err = flash.WritePlotfilePnetCDF(c, fsys, "f.nc", opt.Config, nil)
+		default:
+			r, err = flash.WriteCornerPlotfilePnetCDF(c, fsys, "f.nc", opt.Config, nil)
+		}
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			rep = r
+		}
+		return nil
+	})
+	return rep, err
+}

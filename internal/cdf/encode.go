@@ -1,0 +1,147 @@
+package cdf
+
+import (
+	"encoding/binary"
+
+	"pnetcdf/internal/nctype"
+)
+
+// nonNegSize returns the width in bytes of a NON_NEG field for the format
+// version: 4 for CDF-1/2, 8 for CDF-5.
+func nonNegSize(version int) int64 {
+	if version == 5 {
+		return 8
+	}
+	return 4
+}
+
+// offsetSize returns the width of a variable Begin offset: 4 for CDF-1,
+// 8 for CDF-2 and CDF-5.
+func offsetSize(version int) int64 {
+	if version == 1 {
+		return 4
+	}
+	return 8
+}
+
+type headerWriter struct {
+	buf     []byte
+	version int
+}
+
+func (w *headerWriter) bytes(b []byte) { w.buf = append(w.buf, b...) }
+
+func (w *headerWriter) pad4() {
+	for len(w.buf)%4 != 0 {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+func (w *headerWriter) uint32(v uint32) {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+}
+
+func (w *headerWriter) nonNeg(v int64) {
+	if w.version == 5 {
+		w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(v))
+	} else {
+		w.buf = binary.BigEndian.AppendUint32(w.buf, uint32(v))
+	}
+}
+
+func (w *headerWriter) offset(v int64) {
+	if w.version == 1 {
+		w.buf = binary.BigEndian.AppendUint32(w.buf, uint32(v))
+	} else {
+		w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(v))
+	}
+}
+
+func (w *headerWriter) name(s string) {
+	w.nonNeg(int64(len(s)))
+	w.bytes([]byte(s))
+	w.pad4()
+}
+
+func (w *headerWriter) tagList(tag uint32, n int) {
+	if n == 0 {
+		w.uint32(nctype.TagAbsent)
+		w.nonNeg(0)
+		return
+	}
+	w.uint32(tag)
+	w.nonNeg(int64(n))
+}
+
+func (w *headerWriter) attrs(attrs []Attr) {
+	w.tagList(nctype.TagAttribute, len(attrs))
+	for _, a := range attrs {
+		w.name(a.Name)
+		w.uint32(uint32(a.Type))
+		w.nonNeg(a.Nelems)
+		w.bytes(a.Values)
+		w.pad4()
+	}
+}
+
+// Encode serializes the header to its on-disk byte representation.
+// ComputeLayout must have been called (Begin/VSize populated).
+func (h *Header) Encode() []byte {
+	w := &headerWriter{version: h.Version}
+	w.bytes([]byte{'C', 'D', 'F', byte(h.Version)})
+	w.nonNeg(h.NumRecs)
+	// dim_list
+	w.tagList(nctype.TagDimension, len(h.Dims))
+	for _, d := range h.Dims {
+		w.name(d.Name)
+		w.nonNeg(d.Len)
+	}
+	// gatt_list
+	w.attrs(h.GAttrs)
+	// var_list
+	w.tagList(nctype.TagVariable, len(h.Vars))
+	for i := range h.Vars {
+		v := &h.Vars[i]
+		w.name(v.Name)
+		w.nonNeg(int64(len(v.DimIDs)))
+		for _, id := range v.DimIDs {
+			w.nonNeg(int64(id))
+		}
+		w.attrs(v.Attrs)
+		w.uint32(uint32(v.Type))
+		w.nonNeg(v.VSize)
+		w.offset(v.Begin)
+	}
+	return w.buf
+}
+
+// EncodedSize returns the exact byte length Encode will produce, without
+// allocating the encoding. Layout computation needs this to place the first
+// variable.
+func (h *Header) EncodedSize() int64 {
+	nn := nonNegSize(h.Version)
+	size := int64(4) + nn // magic + numrecs
+	size += 4 + nn        // dim_list tag+nelems
+	for _, d := range h.Dims {
+		size += nn + Round4(int64(len(d.Name))) + nn
+	}
+	size += attrsEncodedSize(h.GAttrs, nn)
+	size += 4 + nn // var_list tag+nelems
+	for i := range h.Vars {
+		v := &h.Vars[i]
+		size += nn + Round4(int64(len(v.Name)))
+		size += nn + int64(len(v.DimIDs))*nn
+		size += attrsEncodedSize(v.Attrs, nn)
+		size += 4 + nn + offsetSize(h.Version)
+	}
+	return size
+}
+
+func attrsEncodedSize(attrs []Attr, nn int64) int64 {
+	size := 4 + nn
+	for _, a := range attrs {
+		size += nn + Round4(int64(len(a.Name)))
+		size += 4 + nn + Round4(int64(len(a.Values)))
+	}
+	return size
+}

@@ -1,0 +1,715 @@
+// Package cdl parses the netCDF CDL text notation (the language ncdump
+// prints and ncgen compiles) and builds netCDF datasets from it. It covers
+// the classic-model subset: dimensions (including UNLIMITED), typed
+// variables, global and variable attributes (strings and numeric lists with
+// optional CDL type suffixes), and the data section.
+package cdl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"pnetcdf/internal/nctype"
+	"pnetcdf/internal/netcdf"
+)
+
+// Schema is a parsed CDL description.
+type Schema struct {
+	Name   string
+	Dims   []DimDecl
+	Vars   []VarDecl
+	GAttrs []AttrDecl
+	// Data maps variable names to their data-section values.
+	Data map[string][]Value
+}
+
+// DimDecl declares a dimension; Size 0 means UNLIMITED.
+type DimDecl struct {
+	Name string
+	Size int64
+}
+
+// VarDecl declares a variable.
+type VarDecl struct {
+	Name  string
+	Type  nctype.Type
+	Dims  []string
+	Attrs []AttrDecl
+}
+
+// AttrDecl declares an attribute.
+type AttrDecl struct {
+	Name   string
+	Values []Value
+}
+
+// Value is one CDL literal: a string, an integer or a float, with an
+// optional type suffix recorded for attribute typing.
+type Value struct {
+	IsStr  bool
+	IsInt  bool
+	S      string
+	I      int64
+	F      float64
+	Suffix byte // b, s, L, f, d or 0
+}
+
+// --- lexer ---
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+type token struct {
+	kind string // "ident", "number", "string", or the punctuation itself
+	text string
+	line int
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto lex
+		}
+	}
+	return token{kind: "eof", line: l.line}, nil
+lex:
+	c := l.src[l.pos]
+	switch {
+	case strings.ContainsRune("{}();,:=", rune(c)):
+		l.pos++
+		return token{kind: string(c), text: string(c), line: l.line}, nil
+	case c == '"':
+		start := l.pos + 1
+		i := start
+		var sb strings.Builder
+		for i < len(l.src) && l.src[i] != '"' {
+			if l.src[i] == '\\' && i+1 < len(l.src) {
+				i++
+				switch l.src[i] {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				default:
+					sb.WriteByte(l.src[i])
+				}
+			} else {
+				sb.WriteByte(l.src[i])
+			}
+			i++
+		}
+		if i >= len(l.src) {
+			return token{}, fmt.Errorf("cdl:%d: unterminated string", l.line)
+		}
+		l.pos = i + 1
+		return token{kind: "string", text: sb.String(), line: l.line}, nil
+	case c == '-' || c == '+' || c == '.' || unicode.IsDigit(rune(c)):
+		start := l.pos
+		l.pos++
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if unicode.IsDigit(rune(c)) || c == '.' || c == 'e' || c == 'E' ||
+				((c == '-' || c == '+') && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E')) ||
+				strings.ContainsRune("bsfdLlu", rune(c)) {
+				l.pos++
+				continue
+			}
+			break
+		}
+		return token{kind: "number", text: l.src[start:l.pos], line: l.line}, nil
+	case c == '_' || unicode.IsLetter(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if c == '_' || c == '-' || c == '.' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) {
+				l.pos++
+				continue
+			}
+			break
+		}
+		return token{kind: "ident", text: l.src[start:l.pos], line: l.line}, nil
+	}
+	return token{}, fmt.Errorf("cdl:%d: unexpected character %q", l.line, c)
+}
+
+// --- parser ---
+
+type parser struct {
+	lex  *lexer
+	tok  token
+	peek *token
+}
+
+func (p *parser) advance() error {
+	if p.peek != nil {
+		p.tok = *p.peek
+		p.peek = nil
+		return nil
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) peekTok() (token, error) {
+	if p.peek == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.peek = &t
+	}
+	return *p.peek, nil
+}
+
+func (p *parser) expect(kind string) (token, error) {
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	if p.tok.kind != kind {
+		return token{}, fmt.Errorf("cdl:%d: expected %s, got %q", p.tok.line, kind, p.tok.text)
+	}
+	return p.tok, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("cdl:%d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+// Parse parses CDL source text.
+func Parse(src string) (*Schema, error) {
+	p := &parser{lex: &lexer{src: src, line: 1}}
+	s := &Schema{Data: map[string][]Value{}}
+	if t, err := p.expect("ident"); err != nil || t.text != "netcdf" {
+		return nil, fmt.Errorf("cdl: input must start with 'netcdf <name> {'")
+	}
+	name, err := p.expect("ident")
+	if err != nil {
+		return nil, err
+	}
+	s.Name = name.text
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.tok.kind == "}":
+			return s, nil
+		case p.tok.kind == "eof":
+			return nil, fmt.Errorf("cdl: missing closing }")
+		case p.tok.kind == "ident" && p.tok.text == "dimensions":
+			if _, err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			if err := p.parseDims(s); err != nil {
+				return nil, err
+			}
+		case p.tok.kind == "ident" && p.tok.text == "variables":
+			if _, err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			if err := p.parseVars(s); err != nil {
+				return nil, err
+			}
+		case p.tok.kind == "ident" && p.tok.text == "data":
+			if _, err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			if err := p.parseData(s); err != nil {
+				return nil, err
+			}
+		case p.tok.kind == ":":
+			// Global attribute outside the variables section.
+			if err := p.parseAttrInto(&s.GAttrs); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unexpected %q", p.tok.text)
+		}
+	}
+}
+
+func (p *parser) atSectionEnd() (bool, error) {
+	t, err := p.peekTok()
+	if err != nil {
+		return false, err
+	}
+	if t.kind == "}" || t.kind == "eof" {
+		return true, nil
+	}
+	if t.kind == "ident" && (t.text == "variables" || t.text == "data" || t.text == "dimensions") {
+		// Only a section start if followed by ':'.
+		return true, nil
+	}
+	return false, nil
+}
+
+func (p *parser) parseDims(s *Schema) error {
+	for {
+		end, err := p.atSectionEnd()
+		if err != nil {
+			return err
+		}
+		if end {
+			return nil
+		}
+		name, err := p.expect("ident")
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect("="); err != nil {
+			return err
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		var size int64
+		switch {
+		case p.tok.kind == "ident" && strings.EqualFold(p.tok.text, "unlimited"):
+			size = 0
+		case p.tok.kind == "number":
+			v, err := strconv.ParseInt(p.tok.text, 10, 64)
+			if err != nil || v <= 0 {
+				return p.errf("bad dimension size %q", p.tok.text)
+			}
+			size = v
+		default:
+			return p.errf("expected dimension size, got %q", p.tok.text)
+		}
+		if _, err := p.expect(";"); err != nil {
+			return err
+		}
+		s.Dims = append(s.Dims, DimDecl{Name: name.text, Size: size})
+	}
+}
+
+// typeNames maps CDL type keywords (including the classic aliases).
+var typeNames = map[string]nctype.Type{
+	"byte": nctype.Byte, "char": nctype.Char, "short": nctype.Short,
+	"int": nctype.Int, "long": nctype.Int, "float": nctype.Float,
+	"real": nctype.Float, "double": nctype.Double,
+	"ubyte": nctype.UByte, "ushort": nctype.UShort, "uint": nctype.UInt,
+	"int64": nctype.Int64, "uint64": nctype.UInt64,
+}
+
+func (p *parser) parseVars(s *Schema) error {
+	for {
+		end, err := p.atSectionEnd()
+		if err != nil {
+			return err
+		}
+		if end {
+			return nil
+		}
+		t, err := p.peekTok()
+		if err != nil {
+			return err
+		}
+		if t.kind == ":" {
+			// Global attribute.
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.parseAttrInto(&s.GAttrs); err != nil {
+				return err
+			}
+			continue
+		}
+		first, err := p.expect("ident")
+		if err != nil {
+			return err
+		}
+		nxt, err := p.peekTok()
+		if err != nil {
+			return err
+		}
+		if nxt.kind == ":" {
+			// Variable attribute: var:name = ...
+			vi := findVar(s, first.text)
+			if vi < 0 {
+				return p.errf("attribute for undeclared variable %q", first.text)
+			}
+			if err := p.advance(); err != nil { // consume ':'
+				return err
+			}
+			if err := p.parseAttrInto(&s.Vars[vi].Attrs); err != nil {
+				return err
+			}
+			continue
+		}
+		// Type name followed by variable declaration(s).
+		typ, ok := typeNames[first.text]
+		if !ok {
+			return p.errf("unknown type %q", first.text)
+		}
+		for {
+			vname, err := p.expect("ident")
+			if err != nil {
+				return err
+			}
+			v := VarDecl{Name: vname.text, Type: typ}
+			nxt, err := p.peekTok()
+			if err != nil {
+				return err
+			}
+			if nxt.kind == "(" {
+				p.advance()
+				for {
+					d, err := p.expect("ident")
+					if err != nil {
+						return err
+					}
+					v.Dims = append(v.Dims, d.text)
+					if err := p.advance(); err != nil {
+						return err
+					}
+					if p.tok.kind == ")" {
+						break
+					}
+					if p.tok.kind != "," {
+						return p.errf("expected , or ) in dimension list")
+					}
+				}
+			}
+			s.Vars = append(s.Vars, v)
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind == ";" {
+				break
+			}
+			if p.tok.kind != "," {
+				return p.errf("expected , or ; after variable declaration")
+			}
+		}
+	}
+}
+
+func findVar(s *Schema, name string) int {
+	for i := range s.Vars {
+		if s.Vars[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// parseAttrInto parses "<name> = <values> ;" (the leading "var:" or ":" is
+// already consumed).
+func (p *parser) parseAttrInto(dst *[]AttrDecl) error {
+	name, err := p.expect("ident")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect("="); err != nil {
+		return err
+	}
+	vals, err := p.parseValueList()
+	if err != nil {
+		return err
+	}
+	*dst = append(*dst, AttrDecl{Name: name.text, Values: vals})
+	return nil
+}
+
+// parseValueList reads comma-separated literals up to ';'.
+func (p *parser) parseValueList() ([]Value, error) {
+	var vals []Value
+	for {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch p.tok.kind {
+		case "string":
+			vals = append(vals, Value{IsStr: true, S: p.tok.text})
+		case "number":
+			v, err := parseNumber(p.tok.text)
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			vals = append(vals, v)
+		case "ident":
+			// _ stands for fill; treat as 0 for simplicity.
+			if p.tok.text == "_" {
+				vals = append(vals, Value{IsInt: true})
+			} else {
+				return nil, p.errf("unexpected %q in value list", p.tok.text)
+			}
+		default:
+			return nil, p.errf("unexpected %q in value list", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == ";" {
+			return vals, nil
+		}
+		if p.tok.kind != "," {
+			return nil, p.errf("expected , or ; in value list")
+		}
+	}
+}
+
+func parseNumber(text string) (Value, error) {
+	suffix := byte(0)
+	body := text
+	// Strip CDL suffixes: b, s, f, d, L, u combinations.
+	for len(body) > 0 && strings.ContainsRune("bsfdLlu", rune(body[len(body)-1])) {
+		// Avoid eating the 'e' of exponents (not in the set) — safe.
+		suffix = body[len(body)-1]
+		body = body[:len(body)-1]
+	}
+	if !strings.ContainsAny(body, ".eE") {
+		if i, err := strconv.ParseInt(body, 10, 64); err == nil {
+			return Value{IsInt: true, I: i, F: float64(i), Suffix: suffix}, nil
+		}
+	}
+	f, err := strconv.ParseFloat(body, 64)
+	if err != nil {
+		return Value{}, fmt.Errorf("bad number %q", text)
+	}
+	return Value{F: f, I: int64(f), Suffix: suffix}, nil
+}
+
+func (p *parser) parseData(s *Schema) error {
+	for {
+		end, err := p.atSectionEnd()
+		if err != nil {
+			return err
+		}
+		if end {
+			return nil
+		}
+		name, err := p.expect("ident")
+		if err != nil {
+			return err
+		}
+		if findVar(s, name.text) < 0 {
+			return p.errf("data for undeclared variable %q", name.text)
+		}
+		if _, err := p.expect("="); err != nil {
+			return err
+		}
+		vals, err := p.parseValueList()
+		if err != nil {
+			return err
+		}
+		s.Data[name.text] = vals
+	}
+}
+
+// --- builder ---
+
+// Build defines the schema on a freshly created dataset and writes the data
+// section.
+func (s *Schema) Build(d *netcdf.Dataset) error {
+	dimIDs := map[string]int{}
+	for _, dim := range s.Dims {
+		id, err := d.DefDim(dim.Name, dim.Size)
+		if err != nil {
+			return err
+		}
+		dimIDs[dim.Name] = id
+	}
+	varIDs := map[string]int{}
+	for _, v := range s.Vars {
+		var ids []int
+		for _, dn := range v.Dims {
+			id, ok := dimIDs[dn]
+			if !ok {
+				return fmt.Errorf("cdl: variable %s uses undeclared dimension %s", v.Name, dn)
+			}
+			ids = append(ids, id)
+		}
+		id, err := d.DefVar(v.Name, v.Type, ids)
+		if err != nil {
+			return err
+		}
+		varIDs[v.Name] = id
+		for _, a := range v.Attrs {
+			if err := putAttr(d, id, v.Type, a); err != nil {
+				return err
+			}
+		}
+	}
+	for _, a := range s.GAttrs {
+		if err := putAttr(d, netcdf.GlobalID, nctype.Invalid, a); err != nil {
+			return err
+		}
+	}
+	if err := d.EndDef(); err != nil {
+		return err
+	}
+	for _, v := range s.Vars {
+		vals, ok := s.Data[v.Name]
+		if !ok {
+			continue
+		}
+		if err := writeData(d, varIDs[v.Name], v, vals, dimIDs, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// attrType infers an attribute's type from its values: strings are char;
+// suffixed numbers follow the suffix; plain integers are int; floats are
+// double (netCDF ncgen rules, simplified).
+func attrType(a AttrDecl) nctype.Type {
+	if len(a.Values) == 0 {
+		return nctype.Char
+	}
+	if a.Values[0].IsStr {
+		return nctype.Char
+	}
+	t := nctype.Int
+	for _, v := range a.Values {
+		switch v.Suffix {
+		case 'b':
+			return nctype.Byte
+		case 's':
+			return nctype.Short
+		case 'f':
+			return nctype.Float
+		case 'd':
+			return nctype.Double
+		case 'L', 'l':
+			// Classic CDL: L means "long", i.e. a 32-bit int.
+			return nctype.Int
+		}
+		if !v.IsInt {
+			t = nctype.Double
+		}
+	}
+	return t
+}
+
+func putAttr(d *netcdf.Dataset, varid int, _ nctype.Type, a AttrDecl) error {
+	t := attrType(a)
+	if t == nctype.Char {
+		var sb strings.Builder
+		for _, v := range a.Values {
+			sb.WriteString(v.S)
+		}
+		return d.PutAttr(varid, a.Name, nctype.Char, sb.String())
+	}
+	switch t {
+	case nctype.Byte:
+		return d.PutAttr(varid, a.Name, t, valuesToInts[int8](a.Values))
+	case nctype.Short:
+		return d.PutAttr(varid, a.Name, t, valuesToInts[int16](a.Values))
+	case nctype.Int:
+		return d.PutAttr(varid, a.Name, t, valuesToInts[int32](a.Values))
+	case nctype.Int64:
+		return d.PutAttr(varid, a.Name, t, valuesToInts[int64](a.Values))
+	case nctype.Float:
+		return d.PutAttr(varid, a.Name, t, valuesToFloats[float32](a.Values))
+	default:
+		return d.PutAttr(varid, a.Name, nctype.Double, valuesToFloats[float64](a.Values))
+	}
+}
+
+func valuesToInts[T int8 | int16 | int32 | int64](vals []Value) []T {
+	out := make([]T, len(vals))
+	for i, v := range vals {
+		out[i] = T(v.I)
+	}
+	return out
+}
+
+func valuesToFloats[T float32 | float64](vals []Value) []T {
+	out := make([]T, len(vals))
+	for i, v := range vals {
+		out[i] = T(v.F)
+	}
+	return out
+}
+
+func writeData(d *netcdf.Dataset, varid int, v VarDecl, vals []Value, dimIDs map[string]int, s *Schema) error {
+	if v.Type == nctype.Char {
+		var sb strings.Builder
+		for _, val := range vals {
+			sb.WriteString(val.S)
+		}
+		data := []byte(sb.String())
+		return putWhole(d, varid, v, int64(len(data)), data, dimIDs, s)
+	}
+	n := int64(len(vals))
+	var data any
+	switch v.Type {
+	case nctype.Byte:
+		data = valuesToInts[int8](vals)
+	case nctype.Short:
+		data = valuesToInts[int16](vals)
+	case nctype.Int:
+		data = valuesToInts[int32](vals)
+	case nctype.Int64, nctype.UInt64:
+		data = valuesToInts[int64](vals)
+	case nctype.Float:
+		data = valuesToFloats[float32](vals)
+	default:
+		data = valuesToFloats[float64](vals)
+	}
+	return putWhole(d, varid, v, n, data, dimIDs, s)
+}
+
+// putWhole writes n leading values of a variable, inferring the record count
+// for record variables.
+func putWhole(d *netcdf.Dataset, varid int, v VarDecl, n int64, data any, dimIDs map[string]int, s *Schema) error {
+	start := make([]int64, len(v.Dims))
+	count := make([]int64, len(v.Dims))
+	inner := int64(1)
+	for i, dn := range v.Dims {
+		size := s.Dims[dimIDs[dn]].Size
+		count[i] = size
+		if i > 0 || size > 0 {
+			if size > 0 {
+				inner *= size
+			}
+		}
+	}
+	if len(v.Dims) == 0 {
+		return d.PutVar1(varid, nil, data)
+	}
+	if count[0] == 0 { // record variable: infer records from value count
+		inner = 1
+		for _, c := range count[1:] {
+			inner *= c
+		}
+		if inner == 0 || n%inner != 0 {
+			return fmt.Errorf("cdl: %s: %d values do not fill whole records (%d per record)", v.Name, n, inner)
+		}
+		count[0] = n / inner
+	} else {
+		want := int64(1)
+		for _, c := range count {
+			want *= c
+		}
+		if n != want {
+			return fmt.Errorf("cdl: %s: %d values for %d-element variable", v.Name, n, want)
+		}
+	}
+	return d.PutVara(varid, start, count, data)
+}

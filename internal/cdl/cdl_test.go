@@ -1,0 +1,246 @@
+package cdl
+
+import (
+	"strings"
+	"testing"
+
+	"pnetcdf/internal/nctype"
+	"pnetcdf/internal/netcdf"
+)
+
+const sample = `
+netcdf weather {
+dimensions:
+	time = UNLIMITED ; // comment here
+	lat = 2 ;
+	lon = 3 ;
+variables:
+	float temp(time, lat, lon) ;
+		temp:units = "K" ;
+		temp:valid_range = 200.f, 350.f ;
+	int station(lat, lon) ;
+	char tag(lon) ;
+	double scalar ;
+	:title = "sample dataset" ;
+	:version = 3 ;
+data:
+	temp = 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12 ;
+	station = 10, 20, 30, 40, 50, 60 ;
+	tag = "abc" ;
+	scalar = 2.5 ;
+}
+`
+
+func build(t *testing.T, src string) (*netcdf.Dataset, *netcdf.MemStore) {
+	t.Helper()
+	schema, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	store := &netcdf.MemStore{}
+	d, err := netcdf.Create(store, nctype.Clobber)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := schema.Build(d); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return d, store
+}
+
+func TestParseStructure(t *testing.T) {
+	s, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "weather" {
+		t.Fatalf("name = %q", s.Name)
+	}
+	if len(s.Dims) != 3 || s.Dims[0].Size != 0 || s.Dims[2].Size != 3 {
+		t.Fatalf("dims = %+v", s.Dims)
+	}
+	if len(s.Vars) != 4 {
+		t.Fatalf("vars = %+v", s.Vars)
+	}
+	if s.Vars[0].Type != nctype.Float || len(s.Vars[0].Dims) != 3 {
+		t.Fatalf("temp = %+v", s.Vars[0])
+	}
+	if len(s.Vars[0].Attrs) != 2 {
+		t.Fatalf("temp attrs = %+v", s.Vars[0].Attrs)
+	}
+	if len(s.GAttrs) != 2 {
+		t.Fatalf("gattrs = %+v", s.GAttrs)
+	}
+	if len(s.Data) != 4 {
+		t.Fatalf("data = %v", s.Data)
+	}
+}
+
+func TestBuildAndReadBack(t *testing.T) {
+	d, _ := build(t, sample)
+	// Records inferred: 12 values / (2*3) = 2 records.
+	if d.NumRecs() != 2 {
+		t.Fatalf("NumRecs = %d", d.NumRecs())
+	}
+	temp := make([]float32, 12)
+	if err := d.GetVara(d.VarID("temp"), []int64{0, 0, 0}, []int64{2, 2, 3}, temp); err != nil {
+		t.Fatal(err)
+	}
+	if temp[0] != 1 || temp[11] != 12 {
+		t.Fatalf("temp = %v", temp)
+	}
+	st := make([]int32, 6)
+	if err := d.GetVar(d.VarID("station"), st); err != nil {
+		t.Fatal(err)
+	}
+	if st[5] != 60 {
+		t.Fatalf("station = %v", st)
+	}
+	tag := make([]byte, 3)
+	if err := d.GetVar(d.VarID("tag"), tag); err != nil {
+		t.Fatal(err)
+	}
+	if string(tag) != "abc" {
+		t.Fatalf("tag = %q", tag)
+	}
+	one := make([]float64, 1)
+	if err := d.GetVar1(d.VarID("scalar"), nil, one); err != nil {
+		t.Fatal(err)
+	}
+	if one[0] != 2.5 {
+		t.Fatalf("scalar = %v", one[0])
+	}
+	// Attribute typing: suffixed floats, plain ints, strings.
+	at, av, err := d.GetAttr(d.VarID("temp"), "valid_range")
+	if err != nil || at != nctype.Float {
+		t.Fatalf("valid_range: %v %v %v", at, av, err)
+	}
+	if vr := av.([]float32); vr[0] != 200 || vr[1] != 350 {
+		t.Fatalf("valid_range = %v", vr)
+	}
+	at, av, err = d.GetAttr(netcdf.GlobalID, "version")
+	if err != nil || at != nctype.Int || av.([]int32)[0] != 3 {
+		t.Fatalf("version: %v %v %v", at, av, err)
+	}
+	_, av, _ = d.GetAttr(netcdf.GlobalID, "title")
+	if string(av.([]byte)) != "sample dataset" {
+		t.Fatalf("title = %q", av)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"netcdf x {",                        // missing }
+		"netcdf x { dimensions: a = -3 ; }", // bad size
+		"netcdf x { dimensions: a = 2 ; variables: blob v(a) ; }", // bad type
+		"netcdf x { dimensions: a = 2 ; variables: int v(b) ; }",  // undeclared dim
+		"netcdf x { data: v = 1 ; }",                              // undeclared var
+		`netcdf x { variables: int v ; v:a = "unterminated ; }`,
+		"netcdf x { dimensions: a = 2 ; variables: int v(a) ; data: v = 1, 2, 3 ; }", // wrong count
+	}
+	for i, src := range cases {
+		s, err := Parse(src)
+		if err != nil {
+			continue // parse-time rejection is fine
+		}
+		store := &netcdf.MemStore{}
+		d, _ := netcdf.Create(store, nctype.Clobber)
+		if err := s.Build(d); err == nil {
+			t.Errorf("case %d accepted: %q", i, src)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `netcdf c { // a comment
+	dimensions:  x=4; // trailing
+	variables: short v(x);
+	data: v = 1,2 , 3,4 ;
+	}`
+	d, _ := build(t, src)
+	got := make([]int16, 4)
+	if err := d.GetVar(d.VarID("v"), got); err != nil {
+		t.Fatal(err)
+	}
+	if got[3] != 4 {
+		t.Fatalf("v = %v", got)
+	}
+}
+
+func TestNumberSuffixes(t *testing.T) {
+	src := `netcdf n { variables: int v ;
+	v:b = 1b ; v:s = 2s ; v:l = 3L ; v:f = 1.5f ; v:d = 2.5d ; v:plain = 7 ; v:neg = -4 ;
+	}`
+	d, _ := build(t, src)
+	check := func(name string, wantType nctype.Type) {
+		at, _, err := d.GetAttr(d.VarID("v"), name)
+		if err != nil || at != wantType {
+			t.Fatalf("%s: type %v err %v, want %v", name, at, err, wantType)
+		}
+	}
+	check("b", nctype.Byte)
+	check("s", nctype.Short)
+	check("l", nctype.Int)
+	check("f", nctype.Float)
+	check("d", nctype.Double)
+	check("plain", nctype.Int)
+	_, av, _ := d.GetAttr(d.VarID("v"), "neg")
+	if av.([]int32)[0] != -4 {
+		t.Fatalf("neg = %v", av)
+	}
+}
+
+func TestScientificNotation(t *testing.T) {
+	src := `netcdf e { variables: double v ; v:a = 1.5e-3 ; data: v = 2e10 ; }`
+	d, _ := build(t, src)
+	_, av, err := d.GetAttr(d.VarID("v"), "a")
+	if err != nil || av.([]float64)[0] != 1.5e-3 {
+		t.Fatalf("a = %v %v", av, err)
+	}
+	one := make([]float64, 1)
+	if err := d.GetVar1(d.VarID("v"), nil, one); err != nil || one[0] != 2e10 {
+		t.Fatalf("v = %v %v", one, err)
+	}
+}
+
+func TestRoundTripThroughFile(t *testing.T) {
+	// CDL -> dataset -> reopen -> verify it is a genuine file.
+	d, store := build(t, sample)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := netcdf.Open(store, nctype.NoWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumVars() != 4 || r.NumRecs() != 2 {
+		t.Fatalf("reopened: vars=%d recs=%d", r.NumVars(), r.NumRecs())
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	src := `netcdf s { variables: int v ; v:a = "line1\nline2\ttab\"q" ; }`
+	d, _ := build(t, src)
+	_, av, err := d.GetAttr(d.VarID("v"), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(av.([]byte)) != "line1\nline2\ttab\"q" {
+		t.Fatalf("escaped = %q", av)
+	}
+}
+
+func TestMultipleVarsOneLine(t *testing.T) {
+	src := `netcdf m { dimensions: x = 2 ; variables: float a(x), b(x), c ; }`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Vars) != 3 || s.Vars[1].Name != "b" || len(s.Vars[2].Dims) != 0 {
+		t.Fatalf("vars = %+v", s.Vars)
+	}
+	if strings.Join(s.Vars[0].Dims, ",") != "x" {
+		t.Fatalf("a dims = %v", s.Vars[0].Dims)
+	}
+}

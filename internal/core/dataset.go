@@ -1,0 +1,601 @@
+// Package core is PnetCDF — the paper's contribution: a parallel interface
+// to netCDF classic files, built on MPI-IO. It mirrors the ncmpi_* C API:
+//
+//   - Create/Open take an MPI communicator and an MPI_Info hint object; the
+//     file is opened, operated and closed by the participating processes as
+//     a group (paper §4.1).
+//   - The header lives as a synchronized local copy on every process: the
+//     root reads it and broadcasts at open; define-mode, attribute and
+//     inquiry calls are in-memory operations on the copy, with cross-process
+//     consistency verified collectively; the root writes the header back at
+//     the end of define mode (paper §4.2.1).
+//   - Data access has two modes, collective (default, functions suffixed
+//     All) and independent (between BeginIndepData/EndIndepData); every
+//     access is translated into an MPI-IO file view built from the variable
+//     metadata plus start/count/stride/imap, so MPI-IO's data sieving and
+//     two-phase optimizations apply (paper §4.2.2).
+//   - The high-level API (PutVara..., GetVars..., ...) takes contiguous Go
+//     slices, like the original netCDF calls; the flexible API additionally
+//     takes an MPI datatype describing noncontiguous memory. The high-level
+//     routines are written on top of the flexible ones, as in the paper.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pnetcdf/internal/cdf"
+	"pnetcdf/internal/mpi"
+	"pnetcdf/internal/mpiio"
+	"pnetcdf/internal/nctype"
+	"pnetcdf/internal/pfs"
+)
+
+// GlobalID addresses the dataset itself in attribute calls (NC_GLOBAL).
+const GlobalID = -1
+
+// Dataset is an open parallel netCDF dataset. Every process in the
+// communicator holds its own *Dataset whose header copies are kept
+// identical by the collective define-mode calls.
+type Dataset struct {
+	comm *mpi.Comm
+	fsys *pfs.FS
+	f    *mpiio.File
+	hdr  *cdf.Header
+	path string
+
+	define bool
+	indep  bool
+	ro     bool
+	closed bool
+
+	hAlign, vAlign int64
+	fill           bool
+
+	numrecsDirty bool // independent-mode record growth pending reconciliation
+
+	// cache holds whole-variable external images loaded by the
+	// nc_prefetch_vars hint (see prefetch.go); nil when the hint is absent.
+	cache map[int][]byte
+
+	oldLayout *cdf.Header
+	pending   []pendingOp // nonblocking iput/iget queue
+}
+
+// Create collectively creates a new dataset, entering define mode. cmode may
+// include nctype.NoClobber, nctype.Bit64Offset, nctype.Bit64Data. PnetCDF
+// hints read from info: nc_header_align_size, nc_var_align_size.
+func Create(comm *mpi.Comm, fsys *pfs.FS, path string, cmode int, info *mpi.Info) (*Dataset, error) {
+	if comm == nil {
+		return nil, nctype.ErrNullComm
+	}
+	amode := mpiio.ModeRdWr | mpiio.ModeCreate
+	if cmode&nctype.NoClobber != 0 {
+		amode |= mpiio.ModeExcl
+	} else {
+		amode |= mpiio.ModeTrunc
+	}
+	f, err := mpiio.Open(comm, fsys, path, amode, info)
+	if err != nil {
+		return nil, err
+	}
+	version := 1
+	if cmode&nctype.Bit64Offset != 0 {
+		version = 2
+	}
+	if cmode&nctype.Bit64Data != 0 {
+		version = 5
+	}
+	d := &Dataset{
+		comm: comm, fsys: fsys, f: f, path: path,
+		hdr:    &cdf.Header{Version: version},
+		define: true,
+		hAlign: info.GetInt("nc_header_align_size", 1),
+		vAlign: info.GetInt("nc_var_align_size", 1),
+	}
+	return d, nil
+}
+
+// Open collectively opens an existing dataset in data mode. omode is
+// nctype.NoWrite or nctype.Write. The root reads the file header and
+// broadcasts it; every process keeps a local copy (paper §4.2.1).
+func Open(comm *mpi.Comm, fsys *pfs.FS, path string, omode int, info *mpi.Info) (*Dataset, error) {
+	if comm == nil {
+		return nil, nctype.ErrNullComm
+	}
+	amode := mpiio.ModeRdOnly
+	if omode&nctype.Write != 0 {
+		amode = mpiio.ModeRdWr
+	}
+	f, err := mpiio.Open(comm, fsys, path, amode, info)
+	if err != nil {
+		return nil, err
+	}
+	// Root fetches the header (growing the probe if needed) and broadcasts.
+	var blob []byte
+	if comm.Rank() == 0 {
+		size, _ := f.Size()
+		probe := int64(64 << 10)
+		for {
+			if probe > size {
+				probe = size
+			}
+			buf := make([]byte, probe)
+			if err := f.ReadRaw(buf, 0); err != nil {
+				return nil, err
+			}
+			if _, derr := cdf.Decode(buf); derr == nil || probe >= size {
+				blob = buf
+				break
+			}
+			probe *= 4
+		}
+	}
+	blob = comm.Bcast(0, blob)
+	hdr, err := cdf.Decode(blob)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{
+		comm: comm, fsys: fsys, f: f, path: path,
+		hdr:    hdr,
+		ro:     omode&nctype.Write == 0,
+		hAlign: info.GetInt("nc_header_align_size", 1),
+		vAlign: info.GetInt("nc_var_align_size", 1),
+	}
+	if err := d.prefetch(info); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Comm returns the dataset's communicator.
+func (d *Dataset) Comm() *mpi.Comm { return d.comm }
+
+// Header exposes the local header copy (inquiry use).
+func (d *Dataset) Header() *cdf.Header { return d.hdr }
+
+// SetFill enables prefilling of variables at EndDef (PnetCDF defaults to
+// nofill; this mirrors ncmpi_set_fill with NC_FILL).
+func (d *Dataset) SetFill(on bool) { d.fill = on }
+
+func (d *Dataset) checkDefine() error {
+	switch {
+	case d.closed:
+		return nctype.ErrClosed
+	case d.ro:
+		return nctype.ErrPerm
+	case !d.define:
+		return nctype.ErrNotInDefine
+	}
+	return nil
+}
+
+func (d *Dataset) checkData() error {
+	switch {
+	case d.closed:
+		return nctype.ErrClosed
+	case d.define:
+		return nctype.ErrInDefine
+	}
+	return nil
+}
+
+// --- Define mode functions (collective; same syntax as serial, paper §4.1) ---
+
+// DefDim defines a dimension; size 0 declares the unlimited dimension.
+// All processes must call it with identical arguments.
+func (d *Dataset) DefDim(name string, size int64) (int, error) {
+	if err := d.checkDefine(); err != nil {
+		return -1, err
+	}
+	if err := cdf.CheckName(name); err != nil {
+		return -1, err
+	}
+	if d.hdr.FindDim(name) >= 0 {
+		return -1, fmt.Errorf("%w: dimension %q", nctype.ErrNameInUse, name)
+	}
+	if size < 0 {
+		return -1, nctype.ErrBadDim
+	}
+	if size == 0 && d.hdr.UnlimitedDimID() >= 0 {
+		return -1, nctype.ErrMultiUnlimited
+	}
+	d.hdr.Dims = append(d.hdr.Dims, cdf.Dim{Name: name, Len: size})
+	return len(d.hdr.Dims) - 1, nil
+}
+
+// DefVar defines a variable over previously defined dimensions.
+func (d *Dataset) DefVar(name string, t nctype.Type, dimids []int) (int, error) {
+	if err := d.checkDefine(); err != nil {
+		return -1, err
+	}
+	if err := cdf.CheckName(name); err != nil {
+		return -1, err
+	}
+	if d.hdr.FindVar(name) >= 0 {
+		return -1, fmt.Errorf("%w: variable %q", nctype.ErrNameInUse, name)
+	}
+	if !t.Valid(d.hdr.Version) {
+		return -1, nctype.ErrBadType
+	}
+	for pos, id := range dimids {
+		if id < 0 || id >= len(d.hdr.Dims) {
+			return -1, nctype.ErrBadDim
+		}
+		if d.hdr.Dims[id].IsUnlimited() && pos != 0 {
+			return -1, nctype.ErrUnlimPos
+		}
+	}
+	d.hdr.Vars = append(d.hdr.Vars, cdf.Var{
+		Name: name, Type: t, DimIDs: append([]int(nil), dimids...),
+	})
+	return len(d.hdr.Vars) - 1, nil
+}
+
+func (d *Dataset) attrsOf(varid int) (*[]cdf.Attr, error) {
+	if varid == GlobalID {
+		return &d.hdr.GAttrs, nil
+	}
+	if varid < 0 || varid >= len(d.hdr.Vars) {
+		return nil, nctype.ErrNotVar
+	}
+	return &d.hdr.Vars[varid].Attrs, nil
+}
+
+// PutAttr sets an attribute on a variable (or GlobalID). In data mode only
+// same-or-smaller overwrites are allowed, and the root rewrites the header.
+func (d *Dataset) PutAttr(varid int, name string, t nctype.Type, value any) error {
+	if d.closed {
+		return nctype.ErrClosed
+	}
+	if d.ro {
+		return nctype.ErrPerm
+	}
+	attrs, err := d.attrsOf(varid)
+	if err != nil {
+		return err
+	}
+	if err := cdf.CheckName(name); err != nil {
+		return err
+	}
+	a, err := cdf.MakeAttr(name, t, value)
+	if err != nil {
+		return err
+	}
+	if !t.Valid(d.hdr.Version) {
+		return nctype.ErrBadType
+	}
+	if i := cdf.FindAttr(*attrs, name); i >= 0 {
+		if !d.define && len(a.Values) > len((*attrs)[i].Values) {
+			return nctype.ErrNotInDefine
+		}
+		(*attrs)[i] = a
+		if !d.define {
+			return d.writeHeaderCollective()
+		}
+		return nil
+	}
+	if !d.define {
+		return nctype.ErrNotInDefine
+	}
+	*attrs = append(*attrs, a)
+	return nil
+}
+
+// GetAttr returns an attribute's type and decoded value. Purely local — no
+// file access or synchronization, one of PnetCDF's advantages over HDF5's
+// dispersed metadata (paper §4.3).
+func (d *Dataset) GetAttr(varid int, name string) (nctype.Type, any, error) {
+	if d.closed {
+		return 0, nil, nctype.ErrClosed
+	}
+	attrs, err := d.attrsOf(varid)
+	if err != nil {
+		return 0, nil, err
+	}
+	i := cdf.FindAttr(*attrs, name)
+	if i < 0 {
+		return 0, nil, fmt.Errorf("%w: %q", nctype.ErrNotAtt, name)
+	}
+	a := (*attrs)[i]
+	v, err := cdf.DecodeAttrValue(a)
+	return a.Type, v, err
+}
+
+// DelAttr removes an attribute (define mode).
+func (d *Dataset) DelAttr(varid int, name string) error {
+	if err := d.checkDefine(); err != nil {
+		return err
+	}
+	attrs, err := d.attrsOf(varid)
+	if err != nil {
+		return err
+	}
+	i := cdf.FindAttr(*attrs, name)
+	if i < 0 {
+		return fmt.Errorf("%w: %q", nctype.ErrNotAtt, name)
+	}
+	*attrs = append((*attrs)[:i], (*attrs)[i+1:]...)
+	return nil
+}
+
+// AttrNames lists attribute names in definition order.
+func (d *Dataset) AttrNames(varid int) ([]string, error) {
+	attrs, err := d.attrsOf(varid)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(*attrs))
+	for i, a := range *attrs {
+		names[i] = a.Name
+	}
+	return names, nil
+}
+
+// EndDef leaves define mode collectively: verifies that every process built
+// an identical header (the consistency guarantee of paper §4.2.1), computes
+// the layout, relocates data if a Redef grew the header, and has the root
+// write the header.
+func (d *Dataset) EndDef() error {
+	if err := d.checkDefine(); err != nil {
+		return err
+	}
+	if err := d.hdr.Validate(); err != nil {
+		return err
+	}
+	if err := d.hdr.ComputeLayoutAligned(d.hAlign, d.vAlign); err != nil {
+		return err
+	}
+	if !d.comm.AgreeSame(d.hdr.Encode()) {
+		return nctype.ErrConsistency
+	}
+	d.define = false
+	if d.oldLayout != nil {
+		if err := d.relocate(d.oldLayout); err != nil {
+			return err
+		}
+		d.oldLayout = nil
+	}
+	if err := d.writeHeaderCollective(); err != nil {
+		return err
+	}
+	if d.fill {
+		if err := d.fillVars(); err != nil {
+			return err
+		}
+	}
+	d.comm.Barrier()
+	return nil
+}
+
+// Redef collectively re-enters define mode.
+func (d *Dataset) Redef() error {
+	if d.closed {
+		return nctype.ErrClosed
+	}
+	if d.ro {
+		return nctype.ErrPerm
+	}
+	if d.define {
+		return nctype.ErrInDefine
+	}
+	if err := d.syncNumRecs(); err != nil {
+		return err
+	}
+	d.oldLayout = d.hdr.Clone()
+	d.define = true
+	return nil
+}
+
+// writeHeaderCollective has the root write the header image; others wait.
+func (d *Dataset) writeHeaderCollective() error {
+	if d.comm.Rank() == 0 {
+		if err := d.f.WriteRaw(d.hdr.Encode(), 0); err != nil {
+			return err
+		}
+	}
+	d.comm.Barrier()
+	return nil
+}
+
+// relocate moves data after a header-growing Redef. Non-overlapping moves
+// are divided among the processes ("moving the existing data to the
+// extended area is performed in parallel", paper §4.3); overlapping moves
+// fall back to the root walking back to front.
+func (d *Dataset) relocate(old *cdf.Header) error {
+	type move struct{ from, to, n int64 }
+	var moves []move
+	for i := range d.hdr.Vars {
+		nv := &d.hdr.Vars[i]
+		oi := old.FindVar(nv.Name)
+		if oi < 0 {
+			continue
+		}
+		ov := &old.Vars[oi]
+		if d.hdr.IsRecordVar(nv) {
+			for rec := old.NumRecs - 1; rec >= 0; rec-- {
+				moves = append(moves, move{old.RecordOffset(ov, rec), d.hdr.RecordOffset(nv, rec), ov.VSize})
+			}
+		} else {
+			moves = append(moves, move{ov.Begin, nv.Begin, ov.VSize})
+		}
+	}
+	// Sort by descending destination.
+	for i := 1; i < len(moves); i++ {
+		for j := i; j > 0 && moves[j-1].to < moves[j].to; j-- {
+			moves[j-1], moves[j] = moves[j], moves[j-1]
+		}
+	}
+	overlapping := false
+	for _, m := range moves {
+		if m.from != m.to && m.to < m.from+m.n {
+			overlapping = true
+			break
+		}
+	}
+	buf := make([]byte, 1<<20)
+	doMove := func(m move) error {
+		remaining := m.n
+		for remaining > 0 {
+			k := remaining
+			if k > int64(len(buf)) {
+				k = int64(len(buf))
+			}
+			srcOff := m.from + remaining - k
+			dstOff := m.to + remaining - k
+			if err := d.f.ReadRaw(buf[:k], srcOff); err != nil {
+				return err
+			}
+			if err := d.f.WriteRaw(buf[:k], dstOff); err != nil {
+				return err
+			}
+			remaining -= k
+		}
+		return nil
+	}
+	if overlapping {
+		// Order matters: the root performs all moves back to front.
+		if d.comm.Rank() == 0 {
+			for _, m := range moves {
+				if m.from != m.to && m.n > 0 {
+					if err := doMove(m); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	} else {
+		// Independent moves: round-robin over ranks, truly parallel.
+		for i, m := range moves {
+			if m.from == m.to || m.n == 0 {
+				continue
+			}
+			if i%d.comm.Size() == d.comm.Rank() {
+				if err := doMove(m); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	d.comm.Barrier()
+	return nil
+}
+
+// fillVars prefills all variables with fill values (root-driven; PnetCDF
+// itself partitions the fill across ranks, which the data plane here also
+// supports but the simpler root fill keeps EndDef deterministic).
+func (d *Dataset) fillVars() error {
+	if d.comm.Rank() != 0 {
+		return nil
+	}
+	for i := range d.hdr.Vars {
+		v := &d.hdr.Vars[i]
+		if d.hdr.IsRecordVar(v) {
+			continue
+		}
+		n := v.VSize
+		const chunk = 1 << 20
+		fill := cdf.FillBytes(v, chunk/int64(v.Type.Size()))
+		off := v.Begin
+		for n > 0 {
+			k := n
+			if k > int64(len(fill)) {
+				k = int64(len(fill))
+			}
+			if err := d.f.WriteRaw(fill[:k], off); err != nil {
+				return err
+			}
+			off += k
+			n -= k
+		}
+	}
+	return nil
+}
+
+// BeginIndepData enters independent data mode (ncmpi_begin_indep_data).
+func (d *Dataset) BeginIndepData() error {
+	if err := d.checkData(); err != nil {
+		return err
+	}
+	if d.indep {
+		return nctype.ErrIndepMode
+	}
+	d.comm.Barrier()
+	d.indep = true
+	return nil
+}
+
+// EndIndepData returns to collective data mode, reconciling any record
+// growth performed independently.
+func (d *Dataset) EndIndepData() error {
+	if err := d.checkData(); err != nil {
+		return err
+	}
+	if !d.indep {
+		return nctype.ErrCollMode
+	}
+	d.indep = false
+	return d.syncNumRecs()
+}
+
+// syncNumRecs agrees on NumRecs across ranks (max) and persists it.
+func (d *Dataset) syncNumRecs() error {
+	agreed := d.comm.AllreduceI64([]int64{d.hdr.NumRecs}, mpi.OpMax)[0]
+	d.hdr.NumRecs = agreed
+	d.numrecsDirty = false
+	return d.writeNumRecs()
+}
+
+// writeNumRecs has the root rewrite just the numrecs field.
+func (d *Dataset) writeNumRecs() error {
+	if d.ro || d.comm.Rank() != 0 {
+		d.comm.Barrier()
+		return nil
+	}
+	full := d.hdr.Encode()
+	// numrecs sits right after the 4-byte magic; 4 or 8 bytes by version.
+	n := 8
+	if d.hdr.Version != 5 {
+		n = 4
+	}
+	err := d.f.WriteRaw(full[4:4+n], 4)
+	d.comm.Barrier()
+	return err
+}
+
+// Sync flushes everything collectively (ncmpi_sync).
+func (d *Dataset) Sync() error {
+	if err := d.checkData(); err != nil {
+		return err
+	}
+	if err := d.syncNumRecs(); err != nil {
+		return err
+	}
+	return d.f.Sync()
+}
+
+// Close collectively closes the dataset (ncmpi_close).
+func (d *Dataset) Close() error {
+	if d.closed {
+		return nctype.ErrClosed
+	}
+	if len(d.pending) > 0 {
+		return errors.New("pnetcdf: nonblocking requests pending at close; call WaitAll")
+	}
+	if d.define {
+		if err := d.EndDef(); err != nil {
+			return err
+		}
+	}
+	if !d.ro {
+		if err := d.syncNumRecs(); err != nil {
+			return err
+		}
+	}
+	if err := d.f.Close(); err != nil {
+		return err
+	}
+	d.closed = true
+	return nil
+}

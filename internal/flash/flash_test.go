@@ -1,0 +1,349 @@
+package flash
+
+import (
+	"fmt"
+	"testing"
+
+	"pnetcdf/internal/core"
+	"pnetcdf/internal/h5sim"
+	"pnetcdf/internal/mpi"
+	"pnetcdf/internal/mpitype"
+	"pnetcdf/internal/nctype"
+	"pnetcdf/internal/netcdf"
+	"pnetcdf/internal/pfs"
+)
+
+// tiny config keeps tests fast while exercising every code path.
+func tinyConfig() Config {
+	return Config{NXB: 4, NYB: 4, NZB: 4, NGuard: 2, NVar: 5, NPlotVar: 2, BlocksPerProc: 3}
+}
+
+func TestFillUnknownGuardStripping(t *testing.T) {
+	cfg := tinyConfig()
+	buf := cfg.FillUnknown(1, 10, 2)
+	gz, gy, gx := cfg.guardedDims()
+	if len(buf) != 2*gz*gy*gx {
+		t.Fatalf("len = %d", len(buf))
+	}
+	// Guard corner must be poison; interior must be the synthetic field.
+	if buf[0] != -9.99e33 {
+		t.Fatalf("guard = %v", buf[0])
+	}
+	g := cfg.NGuard
+	idx := ((g)*gy+(g))*gx + g // interior (0,0,0) of block 0
+	if buf[idx] != CellValue(1, 10, 0, 0, 0) {
+		t.Fatalf("interior = %v, want %v", buf[idx], CellValue(1, 10, 0, 0, 0))
+	}
+}
+
+func TestCornerValueIsNeighborAverage(t *testing.T) {
+	cfg := tinyConfig()
+	got := CornerValue(cfg, 0, 5, 1, 1, 1)
+	var want float64
+	for dz := 0; dz <= 1; dz++ {
+		for dy := 0; dy <= 1; dy++ {
+			for dx := 0; dx <= 1; dx++ {
+				want += CellValue(0, 5, 1-dz, 1-dy, 1-dx)
+			}
+		}
+	}
+	want /= 8
+	if got != want {
+		t.Fatalf("corner = %v, want %v", got, want)
+	}
+}
+
+func TestUnknownNames(t *testing.T) {
+	names := UnknownNames(24)
+	if len(names) != 24 || names[0] != "dens" || names[12] != "ab00" {
+		t.Fatalf("names = %v", names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate name %s", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestCheckpointPnetCDFRoundTrip(t *testing.T) {
+	cfg := tinyConfig()
+	fsys := pfs.New(pfs.DefaultConfig())
+	const p = 4
+	var rep Report
+	err := mpi.Run(p, mpi.DefaultNet(), func(c *mpi.Comm) error {
+		r, err := WriteCheckpointPnetCDF(c, fsys, "chk.nc", cfg, nil)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			rep = r
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := int64(p * cfg.BlocksPerProc * cfg.NZB * cfg.NYB * cfg.NXB * cfg.NVar * 8)
+	if rep.Bytes != wantBytes {
+		t.Fatalf("bytes = %d, want %d", rep.Bytes, wantBytes)
+	}
+	if rep.Seconds <= 0 || rep.BandwidthMBps() <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Serial verification: open the checkpoint with the serial library and
+	// spot-check interior values across blocks owned by different ranks.
+	pf, _, err := fsys.Open("chk.nc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := netcdf.Open(pfs.NewSerialFile(pf, 0), nctype.NoWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.NumVars() != 3+cfg.NVar {
+		t.Fatalf("vars = %d", sd.NumVars())
+	}
+	names := UnknownNames(cfg.NVar)
+	for vi, name := range names {
+		id := sd.VarID(name)
+		if id < 0 {
+			t.Fatalf("missing %s", name)
+		}
+		for _, gb := range []int{0, cfg.BlocksPerProc, p*cfg.BlocksPerProc - 1} {
+			one := make([]float64, 1)
+			if err := sd.GetVar1(id, []int64{int64(gb), 1, 2, 3}, one); err != nil {
+				t.Fatal(err)
+			}
+			if one[0] != CellValue(vi, gb, 1, 2, 3) {
+				t.Fatalf("%s block %d = %v, want %v (guard cells leaked?)",
+					name, gb, one[0], CellValue(vi, gb, 1, 2, 3))
+			}
+		}
+	}
+	// Tree metadata.
+	lref := make([]int32, p*cfg.BlocksPerProc)
+	if err := sd.GetVar(sd.VarID("lrefine"), lref); err != nil {
+		t.Fatal(err)
+	}
+	for gb := range lref {
+		if lref[gb] != int32(1+gb%4) {
+			t.Fatalf("lrefine[%d] = %d", gb, lref[gb])
+		}
+	}
+}
+
+func TestCheckpointH5RoundTrip(t *testing.T) {
+	cfg := tinyConfig()
+	fsys := pfs.New(pfs.DefaultConfig())
+	const p = 2
+	err := mpi.Run(p, mpi.DefaultNet(), func(c *mpi.Comm) error {
+		if _, err := WriteCheckpointH5(c, fsys, "chk.h5", cfg, nil); err != nil {
+			return err
+		}
+		// Parallel verification with the h5sim reader.
+		f, err := h5sim.OpenFile(c, fsys, "chk.h5", true, nil)
+		if err != nil {
+			return err
+		}
+		ds, err := f.OpenDataset("/dens")
+		if err != nil {
+			return err
+		}
+		one := make([]float64, 1)
+		gb := c.Rank() * cfg.BlocksPerProc
+		fsel := h5sim.Select{Start: []int64{int64(gb), 0, 1, 2}, Count: []int64{1, 1, 1, 1}}
+		if err := ds.ReadAll(fsel, nil, one); err != nil {
+			return err
+		}
+		if one[0] != CellValue(0, gb, 0, 1, 2) {
+			return fmt.Errorf("dens[%d] = %v, want %v", gb, one[0], CellValue(0, gb, 0, 1, 2))
+		}
+		ds.Close()
+		return f.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlotfilesBothBackends(t *testing.T) {
+	cfg := tinyConfig()
+	fsys := pfs.New(pfs.DefaultConfig())
+	err := mpi.Run(2, mpi.DefaultNet(), func(c *mpi.Comm) error {
+		if _, err := WritePlotfilePnetCDF(c, fsys, "plt.nc", cfg, nil); err != nil {
+			return err
+		}
+		if _, err := WriteCornerPlotfilePnetCDF(c, fsys, "crn.nc", cfg, nil); err != nil {
+			return err
+		}
+		if _, err := WritePlotfileH5(c, fsys, "plt.h5", cfg, nil); err != nil {
+			return err
+		}
+		if _, err := WriteCornerPlotfileH5(c, fsys, "crn.h5", cfg, nil); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify the corner plotfile serially: float32, corner dims, averaged
+	// values.
+	pf, _, err := fsys.Open("crn.nc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := netcdf.Open(pfs.NewSerialFile(pf, 0), nctype.NoWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, l, err := sd.InqDim(sd.DimID("nzb"))
+	if err != nil || l != int64(cfg.NZB+1) {
+		t.Fatalf("corner dim = %d (%v)", l, err)
+	}
+	one := make([]float32, 1)
+	if err := sd.GetVar1(sd.VarID("dens"), []int64{3, 2, 2, 2}, one); err != nil {
+		t.Fatal(err)
+	}
+	want := float32(CornerValue(cfg, 0, 3, 2, 2, 2))
+	if one[0] != want {
+		t.Fatalf("corner dens = %v, want %v", one[0], want)
+	}
+	// Centered plotfile keeps cell dims and float type.
+	pf2, _, _ := fsys.Open("plt.nc", 0)
+	sd2, err := netcdf.Open(pfs.NewSerialFile(pf2, 0), nctype.NoWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, typ, _, err := sd2.InqVar(sd2.VarID("velx"))
+	if err != nil || typ != nctype.Float {
+		t.Fatalf("plotfile type = %v (%v)", typ, err)
+	}
+	if sd2.NumVars() != 3+cfg.NPlotVar {
+		t.Fatalf("plotfile vars = %d", sd2.NumVars())
+	}
+}
+
+func TestPnetCDFBeatsH5(t *testing.T) {
+	// The Figure 7 headline on a small scale: same workload, PnetCDF
+	// completes in less virtual time than the HDF5-style library.
+	cfg := tinyConfig()
+	const p = 4
+	var nc, h5 Report
+	fsys1 := pfs.New(pfs.DefaultConfig())
+	if err := mpi.Run(p, mpi.DefaultNet(), func(c *mpi.Comm) error {
+		r, err := WriteCheckpointPnetCDF(c, fsys1, "a.nc", cfg, nil)
+		if c.Rank() == 0 {
+			nc = r
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fsys2 := pfs.New(pfs.DefaultConfig())
+	if err := mpi.Run(p, mpi.DefaultNet(), func(c *mpi.Comm) error {
+		r, err := WriteCheckpointH5(c, fsys2, "a.h5", cfg, nil)
+		if c.Rank() == 0 {
+			h5 = r
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if nc.Seconds >= h5.Seconds {
+		t.Fatalf("PnetCDF (%.4fs) not faster than HDF5-style (%.4fs)", nc.Seconds, h5.Seconds)
+	}
+	t.Logf("checkpoint: PnetCDF %.1f MB/s vs H5 %.1f MB/s", nc.BandwidthMBps(), h5.BandwidthMBps())
+}
+
+func TestCheckpointReadBackBothLibraries(t *testing.T) {
+	// The restart path: write a checkpoint, read it back with both
+	// libraries, and make sure the read machinery returns sane reports.
+	cfg := tinyConfig()
+	const p = 3
+	fsys := pfs.New(pfs.DefaultConfig())
+	err := mpi.Run(p, mpi.DefaultNet(), func(c *mpi.Comm) error {
+		if _, err := WriteCheckpointPnetCDF(c, fsys, "rb.nc", cfg, nil); err != nil {
+			return err
+		}
+		rep, err := ReadCheckpointPnetCDF(c, fsys, "rb.nc", cfg, nil)
+		if err != nil {
+			return err
+		}
+		want := int64(p * cfg.BlocksPerProc * cfg.NZB * cfg.NYB * cfg.NXB * cfg.NVar * 8)
+		if rep.Bytes != want {
+			return fmt.Errorf("pnetcdf read bytes = %d, want %d", rep.Bytes, want)
+		}
+		if rep.Seconds <= 0 {
+			return fmt.Errorf("pnetcdf read took no time")
+		}
+		if _, err := WriteCheckpointH5(c, fsys, "rb.h5", cfg, nil); err != nil {
+			return err
+		}
+		rep, err = ReadCheckpointH5(c, fsys, "rb.h5", cfg, nil)
+		if err != nil {
+			return err
+		}
+		if rep.Bytes != want || rep.Seconds <= 0 {
+			return fmt.Errorf("h5 read report = %+v", rep)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCheckpointValuesExact(t *testing.T) {
+	// ReadCheckpointPnetCDF scatters into guarded buffers; verify the
+	// interior landed correctly by reimplementing the read with value
+	// checking through the public API.
+	cfg := tinyConfig()
+	fsys := pfs.New(pfs.DefaultConfig())
+	err := mpi.Run(2, mpi.DefaultNet(), func(c *mpi.Comm) error {
+		if _, err := WriteCheckpointPnetCDF(c, fsys, "rv.nc", cfg, nil); err != nil {
+			return err
+		}
+		d, err := core.Open(c, fsys, "rv.nc", nctype.NoWrite, nil)
+		if err != nil {
+			return err
+		}
+		gz := cfg.NZB + 2*cfg.NGuard
+		gy := cfg.NYB + 2*cfg.NGuard
+		gx := cfg.NXB + 2*cfg.NGuard
+		memtype, err := mpitype.Subarray(
+			[]int64{int64(cfg.BlocksPerProc), int64(gz), int64(gy), int64(gx)},
+			[]int64{int64(cfg.BlocksPerProc), int64(cfg.NZB), int64(cfg.NYB), int64(cfg.NXB)},
+			[]int64{0, int64(cfg.NGuard), int64(cfg.NGuard), int64(cfg.NGuard)}, 1)
+		if err != nil {
+			return err
+		}
+		first := c.Rank() * cfg.BlocksPerProc
+		buf := make([]float64, cfg.BlocksPerProc*gz*gy*gx)
+		if err := d.GetVaraTypeAll(d.VarID("velx"),
+			[]int64{int64(first), 0, 0, 0},
+			[]int64{int64(cfg.BlocksPerProc), int64(cfg.NZB), int64(cfg.NYB), int64(cfg.NXB)},
+			buf, memtype); err != nil {
+			return err
+		}
+		// Spot-check interiors and confirm guards stayed zero.
+		g := cfg.NGuard
+		for b := 0; b < cfg.BlocksPerProc; b++ {
+			base := b * gz * gy * gx
+			idx := base + ((1+g)*gy+(2+g))*gx + (3 + g)
+			want := CellValue(1, first+b, 1, 2, 3) // velx is unknown index 1
+			if buf[idx] != want {
+				return fmt.Errorf("block %d interior = %v, want %v", b, buf[idx], want)
+			}
+			if buf[base] != 0 {
+				return fmt.Errorf("guard cell written during read: %v", buf[base])
+			}
+		}
+		return d.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package mpiio
+
+import "pnetcdf/internal/pfs"
+
+// ReadAt reads len(buf) view-data bytes starting at view offset off into
+// buf. Independent (no coordination with other ranks). Noncontiguous views
+// use data sieving when enabled: instead of one small read per hole-separated
+// piece, whole covering windows are read once and the wanted bytes copied
+// out — ROMIO's romio_ds_read strategy.
+func (f *File) ReadAt(off int64, buf []byte) error {
+	if f.closed {
+		return ErrClosed
+	}
+	segs, err := f.viewSegments(off, int64(len(buf)))
+	if err != nil {
+		return err
+	}
+	if len(segs) <= 1 || !f.hints.DSRead {
+		t := f.pf.ReadV(f.comm.Clock(), segs, buf)
+		f.comm.Proc().SetClock(t)
+		return nil
+	}
+	f.sieveRead(segs, buf)
+	return nil
+}
+
+// sieveRead processes the segment list in covering windows of at most
+// IndRdBufferSize bytes: one contiguous read per window, then per-segment
+// copies.
+func (f *File) sieveRead(segs []pfs.Segment, buf []byte) {
+	t := f.comm.Clock()
+	win := f.hints.IndRdBufferSize
+	bufPos := int64(0)
+	i := 0
+	for i < len(segs) {
+		lo := segs[i].Off
+		hi := segs[i].Off + segs[i].Len
+		j := i + 1
+		// Extend the window while the next segment still fits within win
+		// bytes of coverage.
+		for j < len(segs) && segs[j].Off+segs[j].Len-lo <= win {
+			hi = segs[j].Off + segs[j].Len
+			j++
+		}
+		cover := make([]byte, hi-lo)
+		t = f.pf.ReadAt(t, cover, lo)
+		for k := i; k < j; k++ {
+			s := segs[k]
+			copy(buf[bufPos:bufPos+s.Len], cover[s.Off-lo:s.Off-lo+s.Len])
+			bufPos += s.Len
+		}
+		i = j
+	}
+	f.comm.Proc().SetClock(t)
+}
+
+// WriteAt writes len(buf) view-data bytes starting at view offset off.
+// Independent. Noncontiguous views use data sieving when enabled: the
+// covering window is read, modified in memory, and written back under the
+// file's read-modify-write lock — ROMIO's romio_ds_write strategy.
+func (f *File) WriteAt(off int64, buf []byte) error {
+	if f.closed {
+		return ErrClosed
+	}
+	if f.amode&ModeRdOnly != 0 {
+		return ErrReadOnly
+	}
+	segs, err := f.viewSegments(off, int64(len(buf)))
+	if err != nil {
+		return err
+	}
+	if len(segs) <= 1 || !f.hints.DSWrite {
+		t := f.pf.WriteV(f.comm.Clock(), segs, buf)
+		f.comm.Proc().SetClock(t)
+		return nil
+	}
+	f.sieveWrite(segs, buf)
+	return nil
+}
+
+func (f *File) sieveWrite(segs []pfs.Segment, buf []byte) {
+	t := f.comm.Clock()
+	win := f.hints.IndWrBufferSize
+	bufPos := int64(0)
+	i := 0
+	for i < len(segs) {
+		lo := segs[i].Off
+		hi := segs[i].Off + segs[i].Len
+		j := i + 1
+		for j < len(segs) && segs[j].Off+segs[j].Len-lo <= win {
+			hi = segs[j].Off + segs[j].Len
+			j++
+		}
+		// Fully covered single segment: plain write, no RMW needed.
+		if j == i+1 {
+			s := segs[i]
+			t = f.pf.WriteAt(t, buf[bufPos:bufPos+s.Len], s.Off)
+			bufPos += s.Len
+			i = j
+			continue
+		}
+		f.pf.LockRMW()
+		cover := make([]byte, hi-lo)
+		t = f.pf.ReadAt(t, cover, lo)
+		for k := i; k < j; k++ {
+			s := segs[k]
+			copy(cover[s.Off-lo:s.Off-lo+s.Len], buf[bufPos:bufPos+s.Len])
+			bufPos += s.Len
+		}
+		t = f.pf.WriteAt(t, cover, lo)
+		f.pf.UnlockRMW()
+		i = j
+	}
+	f.comm.Proc().SetClock(t)
+}

@@ -1,0 +1,95 @@
+package mpiio
+
+import "errors"
+
+// Individual file pointer operations, mirroring MPI_File_seek /
+// MPI_File_read / MPI_File_write (the pointer counts view data bytes, like
+// MPI's etype offsets). Each process's pointer is independent.
+
+// Seek whence values, mirroring MPI_SEEK_*.
+const (
+	SeekSet = iota
+	SeekCur
+	SeekEnd
+)
+
+// Seek positions the individual file pointer (in view data bytes).
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	var base int64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = f.pointer
+	case SeekEnd:
+		// End of the view's data: the file size mapped back through the
+		// view. For the identity view this is simply the file size.
+		size, err := f.Size()
+		if err != nil {
+			return 0, err
+		}
+		if f.ftype.Size() == 0 {
+			base = size - f.disp
+		} else {
+			// Number of whole data bytes the view exposes within the file.
+			span := size - f.disp
+			if span < 0 {
+				span = 0
+			}
+			tiles := span / f.ftype.Extent()
+			base = tiles * f.ftype.Size()
+		}
+	default:
+		return 0, errors.New("mpiio: bad seek whence")
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, errors.New("mpiio: seek before start of view")
+	}
+	f.pointer = pos
+	return pos, nil
+}
+
+// Tell returns the individual file pointer.
+func (f *File) Tell() int64 { return f.pointer }
+
+// Read reads len(buf) view bytes at the pointer and advances it
+// (MPI_File_read).
+func (f *File) Read(buf []byte) error {
+	if err := f.ReadAt(f.pointer, buf); err != nil {
+		return err
+	}
+	f.pointer += int64(len(buf))
+	return nil
+}
+
+// Write writes len(buf) view bytes at the pointer and advances it
+// (MPI_File_write).
+func (f *File) Write(buf []byte) error {
+	if err := f.WriteAt(f.pointer, buf); err != nil {
+		return err
+	}
+	f.pointer += int64(len(buf))
+	return nil
+}
+
+// ReadAll is the collective pointer-relative read (MPI_File_read_all).
+func (f *File) ReadAll(buf []byte) error {
+	if err := f.ReadAtAll(f.pointer, buf); err != nil {
+		return err
+	}
+	f.pointer += int64(len(buf))
+	return nil
+}
+
+// WriteAll is the collective pointer-relative write (MPI_File_write_all).
+func (f *File) WriteAll(buf []byte) error {
+	if err := f.WriteAtAll(f.pointer, buf); err != nil {
+		return err
+	}
+	f.pointer += int64(len(buf))
+	return nil
+}

@@ -1,0 +1,72 @@
+package mpitype
+
+import "fmt"
+
+// Pack gathers the units selected by count instances of d (tiled from offset
+// 0 of src) into a contiguous dst buffer, like MPI_Pack. Units are bytes
+// here. dst must hold count*d.Size() bytes; src must span count*d.Extent().
+func Pack(src []byte, d Datatype, count int64, dst []byte) error {
+	need := count * d.size
+	if int64(len(dst)) < need {
+		return fmt.Errorf("mpitype: pack dst %d < %d", len(dst), need)
+	}
+	pos := int64(0)
+	for i := int64(0); i < count; i++ {
+		base := i * d.extent
+		for _, s := range d.segs {
+			copy(dst[pos:pos+s.Len], src[base+s.Off:base+s.Off+s.Len])
+			pos += s.Len
+		}
+	}
+	return nil
+}
+
+// Unpack scatters a contiguous src buffer into the units selected by count
+// instances of d within dst, like MPI_Unpack.
+func Unpack(src []byte, d Datatype, count int64, dst []byte) error {
+	need := count * d.size
+	if int64(len(src)) < need {
+		return fmt.Errorf("mpitype: unpack src %d < %d", len(src), need)
+	}
+	pos := int64(0)
+	for i := int64(0); i < count; i++ {
+		base := i * d.extent
+		for _, s := range d.segs {
+			copy(dst[base+s.Off:base+s.Off+s.Len], src[pos:pos+s.Len])
+			pos += s.Len
+		}
+	}
+	return nil
+}
+
+// GatherElems collects the elements selected by segs (element units) from
+// src into a new slice, in segment order. The flexible PnetCDF API uses it
+// to linearize noncontiguous user memory.
+func GatherElems[T any](src []T, segs []Segment) ([]T, error) {
+	var n int64
+	for _, s := range segs {
+		n += s.Len
+	}
+	out := make([]T, 0, n)
+	for _, s := range segs {
+		if s.Off < 0 || s.Off+s.Len > int64(len(src)) {
+			return nil, fmt.Errorf("mpitype: element segment %+v outside buffer of %d", s, len(src))
+		}
+		out = append(out, src[s.Off:s.Off+s.Len]...)
+	}
+	return out, nil
+}
+
+// ScatterElems writes contiguous elements of src into the positions selected
+// by segs within dst — the inverse of GatherElems.
+func ScatterElems[T any](src []T, segs []Segment, dst []T) error {
+	pos := int64(0)
+	for _, s := range segs {
+		if s.Off < 0 || s.Off+s.Len > int64(len(dst)) {
+			return fmt.Errorf("mpitype: element segment %+v outside buffer of %d", s, len(dst))
+		}
+		copy(dst[s.Off:s.Off+s.Len], src[pos:pos+s.Len])
+		pos += s.Len
+	}
+	return nil
+}

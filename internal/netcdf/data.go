@@ -1,0 +1,428 @@
+package netcdf
+
+import (
+	"fmt"
+
+	"pnetcdf/internal/access"
+	"pnetcdf/internal/cdf"
+	"pnetcdf/internal/mpitype"
+	"pnetcdf/internal/nctype"
+)
+
+// --- Inquiry functions (category 4 of the serial API) ---
+
+// NumDims returns the number of dimensions.
+func (d *Dataset) NumDims() int { return len(d.hdr.Dims) }
+
+// NumVars returns the number of variables.
+func (d *Dataset) NumVars() int { return len(d.hdr.Vars) }
+
+// NumRecs returns the current record count.
+func (d *Dataset) NumRecs() int64 { return d.hdr.NumRecs }
+
+// UnlimitedDimID returns the record dimension's ID, or -1.
+func (d *Dataset) UnlimitedDimID() int { return d.hdr.UnlimitedDimID() }
+
+// DimID looks a dimension up by name (-1 if absent).
+func (d *Dataset) DimID(name string) int { return d.hdr.FindDim(name) }
+
+// VarID looks a variable up by name (-1 if absent).
+func (d *Dataset) VarID(name string) int { return d.hdr.FindVar(name) }
+
+// InqDim returns a dimension's name and length.
+func (d *Dataset) InqDim(dimid int) (string, int64, error) {
+	if dimid < 0 || dimid >= len(d.hdr.Dims) {
+		return "", 0, nctype.ErrNotDim
+	}
+	dim := d.hdr.Dims[dimid]
+	return dim.Name, dim.Len, nil
+}
+
+// InqVar returns a variable's name, type and dimension IDs.
+func (d *Dataset) InqVar(varid int) (string, nctype.Type, []int, error) {
+	if varid < 0 || varid >= len(d.hdr.Vars) {
+		return "", 0, nil, nctype.ErrNotVar
+	}
+	v := &d.hdr.Vars[varid]
+	return v.Name, v.Type, append([]int(nil), v.DimIDs...), nil
+}
+
+// VarShape returns a variable's current dimension lengths (records expanded
+// to NumRecs).
+func (d *Dataset) VarShape(varid int) ([]int64, error) {
+	if varid < 0 || varid >= len(d.hdr.Vars) {
+		return nil, nctype.ErrNotVar
+	}
+	return d.hdr.VarShape(&d.hdr.Vars[varid]), nil
+}
+
+// --- Buffer plumbing shared with the parallel library ---
+
+// SliceHead returns the first n elements of any supported slice type.
+// A nil buffer is accepted for zero-element requests (idle participants in
+// collective calls).
+func SliceHead(data any, n int64) (any, error) {
+	if n == 0 && data == nil {
+		return []byte{}, nil
+	}
+	if cdf.SliceLen(data) < int(n) {
+		return nil, fmt.Errorf("%w: need %d elements, buffer has %d",
+			nctype.ErrCountMismatch, n, cdf.SliceLen(data))
+	}
+	switch s := data.(type) {
+	case []int8:
+		return s[:n], nil
+	case []int16:
+		return s[:n], nil
+	case []int32:
+		return s[:n], nil
+	case []int64:
+		return s[:n], nil
+	case []uint8:
+		return s[:n], nil
+	case []uint16:
+		return s[:n], nil
+	case []uint32:
+		return s[:n], nil
+	case []uint64:
+		return s[:n], nil
+	case []float32:
+		return s[:n], nil
+	case []float64:
+		return s[:n], nil
+	case string:
+		return s[:n], nil
+	}
+	return nil, fmt.Errorf("%w: %T", nctype.ErrTypeMismatch, data)
+}
+
+// MakeLike allocates a new slice of the same element type as data with n
+// elements.
+func MakeLike(data any, n int64) (any, error) {
+	switch data.(type) {
+	case []int8:
+		return make([]int8, n), nil
+	case []int16:
+		return make([]int16, n), nil
+	case []int32:
+		return make([]int32, n), nil
+	case []int64:
+		return make([]int64, n), nil
+	case []uint8:
+		return make([]uint8, n), nil
+	case []uint16:
+		return make([]uint16, n), nil
+	case []uint32:
+		return make([]uint32, n), nil
+	case []uint64:
+		return make([]uint64, n), nil
+	case []float32:
+		return make([]float32, n), nil
+	case []float64:
+		return make([]float64, n), nil
+	}
+	return nil, fmt.Errorf("%w: %T", nctype.ErrTypeMismatch, data)
+}
+
+// GatherAny linearizes the elements selected by segs from any supported
+// slice type.
+func GatherAny(data any, segs []mpitype.Segment) (any, error) {
+	switch s := data.(type) {
+	case []int8:
+		return mpitype.GatherElems(s, segs)
+	case []int16:
+		return mpitype.GatherElems(s, segs)
+	case []int32:
+		return mpitype.GatherElems(s, segs)
+	case []int64:
+		return mpitype.GatherElems(s, segs)
+	case []uint8:
+		return mpitype.GatherElems(s, segs)
+	case []uint16:
+		return mpitype.GatherElems(s, segs)
+	case []uint32:
+		return mpitype.GatherElems(s, segs)
+	case []uint64:
+		return mpitype.GatherElems(s, segs)
+	case []float32:
+		return mpitype.GatherElems(s, segs)
+	case []float64:
+		return mpitype.GatherElems(s, segs)
+	}
+	return nil, fmt.Errorf("%w: %T", nctype.ErrTypeMismatch, data)
+}
+
+// ScatterAny writes linearized elements back into the positions selected by
+// segs within dst.
+func ScatterAny(src any, segs []mpitype.Segment, dst any) error {
+	switch s := src.(type) {
+	case []int8:
+		return mpitype.ScatterElems(s, segs, dst.([]int8))
+	case []int16:
+		return mpitype.ScatterElems(s, segs, dst.([]int16))
+	case []int32:
+		return mpitype.ScatterElems(s, segs, dst.([]int32))
+	case []int64:
+		return mpitype.ScatterElems(s, segs, dst.([]int64))
+	case []uint8:
+		return mpitype.ScatterElems(s, segs, dst.([]uint8))
+	case []uint16:
+		return mpitype.ScatterElems(s, segs, dst.([]uint16))
+	case []uint32:
+		return mpitype.ScatterElems(s, segs, dst.([]uint32))
+	case []uint64:
+		return mpitype.ScatterElems(s, segs, dst.([]uint64))
+	case []float32:
+		return mpitype.ScatterElems(s, segs, dst.([]float32))
+	case []float64:
+		return mpitype.ScatterElems(s, segs, dst.([]float64))
+	}
+	return fmt.Errorf("%w: %T", nctype.ErrTypeMismatch, src)
+}
+
+// --- Data access functions (category 5) ---
+
+// PutVara writes a whole subarray: the (start, count) access method.
+func (d *Dataset) PutVara(varid int, start, count []int64, data any) error {
+	return d.put(varid, start, count, nil, nil, data)
+}
+
+// GetVara reads a whole subarray into data.
+func (d *Dataset) GetVara(varid int, start, count []int64, data any) error {
+	return d.get(varid, start, count, nil, nil, data)
+}
+
+// PutVars writes a strided subarray.
+func (d *Dataset) PutVars(varid int, start, count, stride []int64, data any) error {
+	return d.put(varid, start, count, stride, nil, data)
+}
+
+// GetVars reads a strided subarray.
+func (d *Dataset) GetVars(varid int, start, count, stride []int64, data any) error {
+	return d.get(varid, start, count, stride, nil, data)
+}
+
+// PutVarm writes a mapped strided subarray; imap gives the memory distance
+// (in elements) between successive indices of each dimension.
+func (d *Dataset) PutVarm(varid int, start, count, stride, imap []int64, data any) error {
+	return d.put(varid, start, count, stride, imap, data)
+}
+
+// GetVarm reads a mapped strided subarray.
+func (d *Dataset) GetVarm(varid int, start, count, stride, imap []int64, data any) error {
+	return d.get(varid, start, count, stride, imap, data)
+}
+
+// PutVar1 writes a single element.
+func (d *Dataset) PutVar1(varid int, index []int64, data any) error {
+	ones := make([]int64, len(index))
+	for i := range ones {
+		ones[i] = 1
+	}
+	return d.put(varid, index, ones, nil, nil, data)
+}
+
+// GetVar1 reads a single element.
+func (d *Dataset) GetVar1(varid int, index []int64, data any) error {
+	ones := make([]int64, len(index))
+	for i := range ones {
+		ones[i] = 1
+	}
+	return d.get(varid, index, ones, nil, nil, data)
+}
+
+// PutVar writes the entire variable (all current records for record
+// variables).
+func (d *Dataset) PutVar(varid int, data any) error {
+	start, count, err := d.wholeVar(varid, data)
+	if err != nil {
+		return err
+	}
+	return d.put(varid, start, count, nil, nil, data)
+}
+
+// GetVar reads the entire variable.
+func (d *Dataset) GetVar(varid int, data any) error {
+	start, count, err := d.wholeVar(varid, data)
+	if err != nil {
+		return err
+	}
+	return d.get(varid, start, count, nil, nil, data)
+}
+
+func (d *Dataset) wholeVar(varid int, data any) ([]int64, []int64, error) {
+	if varid < 0 || varid >= len(d.hdr.Vars) {
+		return nil, nil, nctype.ErrNotVar
+	}
+	v := &d.hdr.Vars[varid]
+	shape := d.hdr.VarShape(v)
+	start := make([]int64, len(shape))
+	if d.hdr.IsRecordVar(v) && len(shape) > 0 && shape[0] == 0 {
+		// Writing a whole fresh record variable: infer the record count from
+		// the buffer length.
+		inner := int64(1)
+		for _, s := range shape[1:] {
+			inner *= s
+		}
+		if inner > 0 {
+			shape[0] = int64(cdf.SliceLen(data)) / inner
+		}
+	}
+	return start, shape, nil
+}
+
+func (d *Dataset) varByID(varid int) (*cdf.Var, error) {
+	if varid < 0 || varid >= len(d.hdr.Vars) {
+		return nil, nctype.ErrNotVar
+	}
+	return &d.hdr.Vars[varid], nil
+}
+
+func (d *Dataset) put(varid int, start, count, stride, imap []int64, data any) error {
+	if err := d.checkData(); err != nil {
+		return err
+	}
+	if d.ro {
+		return nctype.ErrPerm
+	}
+	v, err := d.varByID(varid)
+	if err != nil {
+		return err
+	}
+	req, err := access.Validate(d.hdr, v, start, count, stride, true)
+	if err != nil {
+		return err
+	}
+	memsegs, err := access.MemSegments(req.Count, imap)
+	if err != nil {
+		return err
+	}
+	var linear any
+	if imap == nil {
+		linear, err = SliceHead(data, req.NElems)
+	} else {
+		linear, err = GatherAny(data, memsegs)
+	}
+	if err != nil {
+		return err
+	}
+	ext, encErr := cdf.EncodeSlice(nil, v.Type, linear)
+	if encErr != nil && encErr != cdf.ErrRange {
+		return encErr
+	}
+	// Grow records first (with fill if enabled) so concurrent record
+	// variables keep a consistent record count.
+	if req.LastRecord >= d.hdr.NumRecs {
+		if err := d.growRecords(req.LastRecord + 1); err != nil {
+			return err
+		}
+	}
+	segs := access.FileSegments(d.hdr, v, req)
+	pos := int64(0)
+	for _, s := range segs {
+		if err := d.cache.WriteAt(ext[pos:pos+s.Len], s.Off); err != nil {
+			return err
+		}
+		pos += s.Len
+	}
+	return encErr // nil or ErrRange, after the data is written (netCDF style)
+}
+
+func (d *Dataset) get(varid int, start, count, stride, imap []int64, data any) error {
+	if err := d.checkData(); err != nil {
+		return err
+	}
+	v, err := d.varByID(varid)
+	if err != nil {
+		return err
+	}
+	req, err := access.Validate(d.hdr, v, start, count, stride, false)
+	if err != nil {
+		return err
+	}
+	segs := access.FileSegments(d.hdr, v, req)
+	ext := make([]byte, req.NElems*int64(v.Type.Size()))
+	pos := int64(0)
+	for _, s := range segs {
+		if err := d.cache.ReadAt(ext[pos:pos+s.Len], s.Off); err != nil {
+			return err
+		}
+		pos += s.Len
+	}
+	if imap == nil {
+		linear, err := SliceHead(data, req.NElems)
+		if err != nil {
+			return err
+		}
+		return cdf.DecodeSlice(ext, v.Type, linear)
+	}
+	memsegs, err := access.MemSegments(req.Count, imap)
+	if err != nil {
+		return err
+	}
+	tmp, err := MakeLike(data, req.NElems)
+	if err != nil {
+		return err
+	}
+	if err := cdf.DecodeSlice(ext, v.Type, tmp); err != nil {
+		return err
+	}
+	return ScatterAny(tmp, memsegs, data)
+}
+
+// growRecords extends NumRecs to n, prefilling the new records when fill
+// mode is on.
+func (d *Dataset) growRecords(n int64) error {
+	from := d.hdr.NumRecs
+	d.hdr.NumRecs = n
+	if d.fill != Fill {
+		return nil
+	}
+	for i := range d.hdr.Vars {
+		v := &d.hdr.Vars[i]
+		if !d.hdr.IsRecordVar(v) {
+			continue
+		}
+		fillBuf := cdf.FillBytes(v, d.hdr.VarSlotSize(v)/int64(v.Type.Size()))
+		for rec := from; rec < n; rec++ {
+			if err := d.cache.WriteAt(fillBuf, d.hdr.RecordOffset(v, rec)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fillFixedVars writes fill values into every fixed variable (EndDef with
+// fill mode on). Only variables new since the last define mode are filled.
+func (d *Dataset) fillFixedVars() error {
+	for i := range d.hdr.Vars {
+		v := &d.hdr.Vars[i]
+		if d.hdr.IsRecordVar(v) {
+			continue
+		}
+		if d.prevVars != nil && d.prevVars[v.Name] {
+			continue
+		}
+		n := v.VSize / int64(v.Type.Size())
+		const chunkElems = 64 << 10
+		fillBuf := cdf.FillBytes(v, min64(n, chunkElems))
+		off := v.Begin
+		for n > 0 {
+			k := min64(n, chunkElems)
+			if err := d.cache.WriteAt(fillBuf[:k*int64(v.Type.Size())], off); err != nil {
+				return err
+			}
+			off += k * int64(v.Type.Size())
+			n -= k
+		}
+	}
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

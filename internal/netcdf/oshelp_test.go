@@ -1,0 +1,11 @@
+package netcdf
+
+import "os"
+
+func createOSFile(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func openOSFile(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDONLY, 0)
+}

@@ -1,0 +1,71 @@
+package netcdf
+
+import (
+	"errors"
+	"testing"
+
+	"pnetcdf/internal/nctype"
+)
+
+func TestRenameDimVarAttr(t *testing.T) {
+	d, store, tempID, elevID := newDataset(t)
+	// Data mode: shorter or equal names are allowed.
+	if err := d.RenameDim(d.DimID("lat"), "la"); err != nil {
+		t.Fatalf("shrink dim name in data mode: %v", err)
+	}
+	if err := d.RenameDim(d.DimID("la"), "latitude"); !errors.Is(err, nctype.ErrNotInDefine) {
+		t.Fatalf("grow dim name in data mode: %v", err)
+	}
+	// Define mode: any valid rename.
+	if err := d.Redef(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RenameDim(d.DimID("la"), "latitude"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RenameVar(tempID, "air_temperature"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RenameAttr(tempID, "units", "unit_string"); err != nil {
+		t.Fatal(err)
+	}
+	// Collisions and bad names rejected.
+	if err := d.RenameVar(elevID, "air_temperature"); !errors.Is(err, nctype.ErrNameInUse) {
+		t.Fatalf("var collision: %v", err)
+	}
+	if err := d.RenameDim(d.DimID("lon"), "latitude"); !errors.Is(err, nctype.ErrNameInUse) {
+		t.Fatalf("dim collision: %v", err)
+	}
+	if err := d.RenameVar(tempID, "bad/name"); err == nil {
+		t.Fatal("bad name accepted")
+	}
+	if err := d.RenameAttr(tempID, "absent", "x"); !errors.Is(err, nctype.ErrNotAtt) {
+		t.Fatalf("rename absent attr: %v", err)
+	}
+	// Self-rename is a no-op, not a collision.
+	if err := d.RenameVar(tempID, "air_temperature"); err != nil {
+		t.Fatalf("self rename: %v", err)
+	}
+	if err := d.EndDef(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything persisted.
+	r, err := Open(store, nctype.NoWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DimID("latitude") < 0 || r.VarID("air_temperature") < 0 {
+		t.Fatal("renames not persisted")
+	}
+	if _, _, err := r.GetAttr(r.VarID("air_temperature"), "unit_string"); err != nil {
+		t.Fatalf("renamed attr: %v", err)
+	}
+	// Bad IDs.
+	if err := r.RenameDim(99, "x"); !errors.Is(err, nctype.ErrPerm) {
+		// read-only check fires first
+		t.Fatalf("rename on RO: %v", err)
+	}
+}

@@ -1,0 +1,474 @@
+// Package pfs simulates a striped parallel file system in the spirit of the
+// GPFS installations used in the paper's evaluation (SDSC Blue Horizon with
+// 12 I/O nodes, ASCI White Frost with a 2-node I/O system).
+//
+// Correctness and performance are deliberately separated:
+//
+//   - Data is stored for real. Every write lands in sparse 256 KiB chunks
+//     and every read returns exactly the bytes written, so the libraries
+//     built on top are verified end to end, byte for byte.
+//
+//   - Time is virtual. Each I/O call takes the caller's virtual time and
+//     returns the completion time under a cost model with a fixed pool of
+//     I/O servers: a request is charged network injection on the client
+//     link (pipelined in windows), then per-server seek time per
+//     discontiguous extent plus bytes/bandwidth, serialized on each
+//     server's queue. Aggregate bandwidth therefore saturates at
+//     NumServers x per-server bandwidth no matter how many clients issue
+//     I/O — the effect behind the flattening curves in the paper's
+//     Figure 6 — while many small discontiguous requests drown in seek
+//     time — the effect that makes collective I/O win.
+//
+// The cost model is the substitution for the paper's physical disk arrays
+// (DESIGN.md §2); all libraries above it move real bytes.
+package pfs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Segment is one contiguous file extent of an I/O request.
+type Segment struct {
+	Off int64
+	Len int64
+}
+
+// Config describes the simulated storage system.
+type Config struct {
+	// NumServers is the number of I/O servers (disks) the file system
+	// stripes across.
+	NumServers int
+	// StripeSize is the striping unit in bytes.
+	StripeSize int64
+	// SeekTime is charged per discontiguous extent per server per request.
+	SeekTime float64
+	// ReadBW and WriteBW are per-server bandwidths in bytes/second.
+	ReadBW  float64
+	WriteBW float64
+	// ClientBW is the bandwidth of one client's link to the I/O system.
+	ClientBW float64
+	// NetLatency is the one-way client/server request latency.
+	NetLatency float64
+	// PerReqOverhead is a fixed per-server charge per request batch
+	// (request handling, metadata lookup).
+	PerReqOverhead float64
+	// PipeChunk is the pipelining window: client injection and server
+	// service overlap at this granularity.
+	PipeChunk int64
+	// OpenCost is the virtual time to open or create a file.
+	OpenCost float64
+	// SyncCost is the virtual time for a flush barrier.
+	SyncCost float64
+	// Discard, when true, skips retention of bulk data (timing only):
+	// writes of DiscardThreshold bytes or more vanish, smaller writes —
+	// file headers, object metadata, group tables — are kept so the
+	// libraries' metadata paths still function. Benchmarks over very large
+	// synthetic files use it; tests never do.
+	Discard bool
+	// DiscardThreshold is the bulk-data cutoff for Discard (default 1 MiB).
+	DiscardThreshold int64
+}
+
+// DefaultConfig resembles the SDSC system in the paper: 12 I/O nodes and an
+// aggregate peak of roughly 1.5 GB/s, with writes considerably slower than
+// reads (GPFS write commit).
+func DefaultConfig() Config {
+	return Config{
+		NumServers:     12,
+		StripeSize:     256 << 10,
+		SeekTime:       1.5e-3,
+		ReadBW:         125e6,
+		WriteBW:        30e6,
+		ClientBW:       220e6,
+		NetLatency:     60e-6,
+		PerReqOverhead: 150e-6,
+		PipeChunk:      4 << 20,
+		OpenCost:       2e-3,
+		SyncCost:       1e-3,
+	}
+}
+
+const chunkSize = 256 << 10
+
+// FS is one simulated file system instance.
+type FS struct {
+	cfg Config
+
+	mu    sync.Mutex
+	files map[string]*fileData
+
+	srvMu sync.Mutex
+	busy  []float64 // per-server busy-until, virtual seconds
+}
+
+type fileData struct {
+	name string
+	mu   sync.Mutex
+	size int64
+	data map[int64][]byte // chunk index -> chunk
+	rmw  sync.Mutex       // read-modify-write lock for data sieving writes
+}
+
+// New creates a file system with the given configuration.
+func New(cfg Config) *FS {
+	if cfg.NumServers < 1 {
+		cfg.NumServers = 1
+	}
+	if cfg.StripeSize < 1 {
+		cfg.StripeSize = 256 << 10
+	}
+	if cfg.PipeChunk < 1 {
+		cfg.PipeChunk = 4 << 20
+	}
+	if cfg.DiscardThreshold < 1 {
+		cfg.DiscardThreshold = 1 << 20
+	}
+	return &FS{
+		cfg:   cfg,
+		files: map[string]*fileData{},
+		busy:  make([]float64, cfg.NumServers),
+	}
+}
+
+// Config returns the file system's configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// PeakReadBW returns the aggregate read bandwidth ceiling in bytes/second.
+func (fs *FS) PeakReadBW() float64 { return float64(fs.cfg.NumServers) * fs.cfg.ReadBW }
+
+// PeakWriteBW returns the aggregate write bandwidth ceiling in bytes/second.
+func (fs *FS) PeakWriteBW() float64 { return float64(fs.cfg.NumServers) * fs.cfg.WriteBW }
+
+// File is an open handle. Handles are cheap; all handles to one name share
+// the underlying data.
+type File struct {
+	fs *FS
+	fd *fileData
+}
+
+// Create opens name, truncating it to zero length, and charges OpenCost.
+func (fs *FS) Create(name string, t float64) (*File, float64) {
+	fs.mu.Lock()
+	fd := &fileData{name: name, data: map[int64][]byte{}}
+	fs.files[name] = fd
+	fs.mu.Unlock()
+	return &File{fs: fs, fd: fd}, t + fs.cfg.OpenCost
+}
+
+// Open opens an existing file and charges OpenCost.
+func (fs *FS) Open(name string, t float64) (*File, float64, error) {
+	fs.mu.Lock()
+	fd := fs.files[name]
+	fs.mu.Unlock()
+	if fd == nil {
+		return nil, t, fmt.Errorf("pfs: open %s: no such file", name)
+	}
+	return &File{fs: fs, fd: fd}, t + fs.cfg.OpenCost, nil
+}
+
+// Exists reports whether name exists.
+func (fs *FS) Exists(name string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.files[name] != nil
+}
+
+// Remove deletes a file.
+func (fs *FS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.files[name] == nil {
+		return fmt.Errorf("pfs: remove %s: no such file", name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// Names returns all file names, sorted.
+func (fs *FS) Names() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out []string
+	for n := range fs.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResetClock zeroes the server queues; harnesses call it between measured
+// phases so one phase's backlog does not leak into the next.
+func (fs *FS) ResetClock() {
+	fs.srvMu.Lock()
+	for i := range fs.busy {
+		fs.busy[i] = 0
+	}
+	fs.srvMu.Unlock()
+}
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.fd.name }
+
+// Size returns the file's current size in bytes.
+func (f *File) Size() int64 {
+	f.fd.mu.Lock()
+	defer f.fd.mu.Unlock()
+	return f.fd.size
+}
+
+// Truncate sets the file size, discarding data beyond it.
+func (f *File) Truncate(size int64) {
+	f.fd.mu.Lock()
+	defer f.fd.mu.Unlock()
+	if size < f.fd.size {
+		first := size / chunkSize
+		for idx := range f.fd.data {
+			if idx > first {
+				delete(f.fd.data, idx)
+			}
+		}
+		if c, ok := f.fd.data[first]; ok {
+			for i := size % chunkSize; i < chunkSize; i++ {
+				c[i] = 0
+			}
+		}
+	}
+	f.fd.size = size
+}
+
+// LockRMW acquires the file's read-modify-write lock. ROMIO-style data
+// sieving writes take it around their read/modify/write sequence so
+// concurrent sieving writers do not lose updates.
+func (f *File) LockRMW() { f.fd.rmw.Lock() }
+
+// UnlockRMW releases the read-modify-write lock.
+func (f *File) UnlockRMW() { f.fd.rmw.Unlock() }
+
+// storeWrite copies p into the chunk store at off.
+func (fd *fileData) storeWrite(p []byte, off int64, discard bool) {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	if off+int64(len(p)) > fd.size {
+		fd.size = off + int64(len(p))
+	}
+	if discard {
+		return
+	}
+	for len(p) > 0 {
+		idx := off / chunkSize
+		cOff := off % chunkSize
+		n := chunkSize - cOff
+		if n > int64(len(p)) {
+			n = int64(len(p))
+		}
+		c := fd.data[idx]
+		if c == nil {
+			c = make([]byte, chunkSize)
+			fd.data[idx] = c
+		}
+		copy(c[cOff:cOff+n], p[:n])
+		p = p[n:]
+		off += n
+	}
+}
+
+// storeRead fills p from the chunk store at off; holes and bytes beyond EOF
+// read as zero.
+func (fd *fileData) storeRead(p []byte, off int64) {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	for len(p) > 0 {
+		idx := off / chunkSize
+		cOff := off % chunkSize
+		n := chunkSize - cOff
+		if n > int64(len(p)) {
+			n = int64(len(p))
+		}
+		if c := fd.data[idx]; c != nil {
+			copy(p[:n], c[cOff:cOff+n])
+		} else {
+			for i := int64(0); i < n; i++ {
+				p[i] = 0
+			}
+		}
+		p = p[n:]
+		off += n
+	}
+}
+
+// WriteAt writes p at off, issued at virtual time t, and returns the
+// completion time.
+func (f *File) WriteAt(t float64, p []byte, off int64) float64 {
+	return f.WriteV(t, []Segment{{Off: off, Len: int64(len(p))}}, p)
+}
+
+// ReadAt reads len(p) bytes at off, issued at virtual time t, and returns
+// the completion time.
+func (f *File) ReadAt(t float64, p []byte, off int64) float64 {
+	return f.ReadV(t, []Segment{{Off: off, Len: int64(len(p))}}, p)
+}
+
+// WriteV writes the segments, taking consecutive bytes from src, as one
+// request batch. Segments should be sorted and non-overlapping; the cost
+// model charges one seek per (merged) extent per server.
+func (f *File) WriteV(t float64, segs []Segment, src []byte) float64 {
+	pos := int64(0)
+	for _, s := range segs {
+		discard := f.fs.cfg.Discard && s.Len >= f.fs.cfg.DiscardThreshold
+		f.fd.storeWrite(src[pos:pos+s.Len], s.Off, discard)
+		pos += s.Len
+	}
+	return f.fs.charge(t, segs, false)
+}
+
+// ReadV reads the segments into consecutive bytes of dst as one request
+// batch.
+func (f *File) ReadV(t float64, segs []Segment, dst []byte) float64 {
+	pos := int64(0)
+	for _, s := range segs {
+		f.fd.storeRead(dst[pos:pos+s.Len], s.Off)
+		pos += s.Len
+	}
+	return f.fs.charge(t, segs, true)
+}
+
+// Sync flushes; a fixed-cost barrier against all servers.
+func (f *File) Sync(t float64) float64 {
+	fs := f.fs
+	fs.srvMu.Lock()
+	defer fs.srvMu.Unlock()
+	done := t + fs.cfg.SyncCost
+	for i := range fs.busy {
+		if fs.busy[i] > done {
+			done = fs.busy[i]
+		}
+	}
+	return done + fs.cfg.NetLatency
+}
+
+// charge applies the cost model for one request batch issued at t and
+// returns the completion time.
+func (fs *FS) charge(t float64, segs []Segment, read bool) float64 {
+	cfg := fs.cfg
+	var total int64
+	for _, s := range segs {
+		total += s.Len
+	}
+	if total == 0 {
+		return t + cfg.NetLatency
+	}
+	// Per-server extent counts and byte totals; for writes, also the
+	// distinct partially-covered stripe blocks, which cost a
+	// read-modify-write on GPFS-class systems (the reason ROMIO aligns
+	// collective-buffering file domains to the stripe size).
+	extents := make([]int64, cfg.NumServers)
+	bytes := make([]int64, cfg.NumServers)
+	rmwBlocks := map[int64]bool{}
+	for _, s := range merge(segs) {
+		if s.Len == 0 {
+			continue
+		}
+		first := s.Off / cfg.StripeSize
+		last := (s.Off + s.Len - 1) / cfg.StripeSize
+		if !read {
+			if s.Off%cfg.StripeSize != 0 {
+				rmwBlocks[first] = true
+			}
+			if (s.Off+s.Len)%cfg.StripeSize != 0 {
+				rmwBlocks[last] = true
+			}
+		}
+		for srv := 0; srv < cfg.NumServers; srv++ {
+			cnt := countCongruent(first, last, int64(srv), int64(cfg.NumServers))
+			if cnt == 0 {
+				continue
+			}
+			extents[srv]++
+			b := cnt * cfg.StripeSize
+			if first%int64(cfg.NumServers) == int64(srv) {
+				b -= s.Off - first*cfg.StripeSize
+			}
+			if last%int64(cfg.NumServers) == int64(srv) {
+				b -= (last+1)*cfg.StripeSize - (s.Off + s.Len)
+			}
+			bytes[srv] += b
+		}
+	}
+	// Charge each partial block's read-before-write to its server.
+	rmwExtra := make([]float64, cfg.NumServers)
+	for blk := range rmwBlocks {
+		srv := int(blk % int64(cfg.NumServers))
+		rmwExtra[srv] += cfg.SeekTime + float64(cfg.StripeSize)/cfg.ReadBW
+	}
+	bw := cfg.WriteBW
+	if read {
+		bw = cfg.ReadBW
+	}
+	// Pipeline the client link against the server queues in windows.
+	nWindows := (total + cfg.PipeChunk - 1) / cfg.PipeChunk
+	fs.srvMu.Lock()
+	defer fs.srvMu.Unlock()
+	complete := t
+	for w := int64(0); w < nWindows; w++ {
+		// Client has injected (w+1) windows by this time.
+		injected := (w + 1) * cfg.PipeChunk
+		if injected > total {
+			injected = total
+		}
+		arrive := t + cfg.NetLatency + float64(injected)/cfg.ClientBW
+		for srv := 0; srv < cfg.NumServers; srv++ {
+			if bytes[srv] == 0 {
+				continue
+			}
+			service := float64(bytes[srv]) / float64(nWindows) / bw
+			if w == 0 {
+				service += cfg.PerReqOverhead + float64(extents[srv])*cfg.SeekTime + rmwExtra[srv]
+			}
+			start := math.Max(arrive, fs.busy[srv])
+			fs.busy[srv] = start + service
+			if fs.busy[srv] > complete {
+				complete = fs.busy[srv]
+			}
+		}
+	}
+	return complete + cfg.NetLatency
+}
+
+// merge coalesces sorted, adjacent or overlapping segments so the seek
+// charge reflects true discontiguity.
+func merge(segs []Segment) []Segment {
+	if len(segs) <= 1 {
+		return segs
+	}
+	sorted := make([]Segment, len(segs))
+	copy(sorted, segs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Off < sorted[j].Off })
+	out := sorted[:1]
+	for _, s := range sorted[1:] {
+		last := &out[len(out)-1]
+		if s.Off <= last.Off+last.Len {
+			if end := s.Off + s.Len; end > last.Off+last.Len {
+				last.Len = end - last.Off
+			}
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// countCongruent counts integers in [a, b] congruent to r mod m.
+func countCongruent(a, b, r, m int64) int64 {
+	if b < a {
+		return 0
+	}
+	// First k >= a with k ≡ r (mod m).
+	k := a + ((r-a)%m+m)%m
+	if k > b {
+		return 0
+	}
+	return (b-k)/m + 1
+}

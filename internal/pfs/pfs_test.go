@@ -1,0 +1,421 @@
+package pfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func testFS() *FS {
+	cfg := DefaultConfig()
+	return New(cfg)
+}
+
+func TestCreateOpenRemove(t *testing.T) {
+	fs := testFS()
+	f, t1 := fs.Create("a.nc", 0)
+	if t1 <= 0 {
+		t.Fatal("Create charged no time")
+	}
+	if f.Name() != "a.nc" || f.Size() != 0 {
+		t.Fatalf("fresh file: name=%q size=%d", f.Name(), f.Size())
+	}
+	if !fs.Exists("a.nc") || fs.Exists("b.nc") {
+		t.Fatal("Exists wrong")
+	}
+	if _, _, err := fs.Open("missing", 0); err == nil {
+		t.Fatal("Open missing succeeded")
+	}
+	g, _, err := fs.Open("a.nc", t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Handles share data.
+	f.WriteAt(0, []byte("xyz"), 0)
+	buf := make([]byte, 3)
+	g.ReadAt(0, buf, 0)
+	if string(buf) != "xyz" {
+		t.Fatalf("shared data: %q", buf)
+	}
+	if err := fs.Remove("a.nc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("a.nc"); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	fs := testFS()
+	f, _ := fs.Create("f", 0)
+	data := make([]byte, 3*chunkSize+123) // spans chunks with odd tail
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	f.WriteAt(0, data, 41) // unaligned offset
+	got := make([]byte, len(data))
+	f.ReadAt(0, got, 41)
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch across chunk boundaries")
+	}
+	if f.Size() != 41+int64(len(data)) {
+		t.Fatalf("size = %d", f.Size())
+	}
+	// Holes and beyond-EOF reads are zero.
+	head := make([]byte, 41)
+	f.ReadAt(0, head, 0)
+	for _, b := range head {
+		if b != 0 {
+			t.Fatal("hole not zero")
+		}
+	}
+	tail := make([]byte, 10)
+	f.ReadAt(0, tail, f.Size()+100)
+	for _, b := range tail {
+		if b != 0 {
+			t.Fatal("beyond-EOF not zero")
+		}
+	}
+}
+
+func TestVectoredIO(t *testing.T) {
+	fs := testFS()
+	f, _ := fs.Create("f", 0)
+	segs := []Segment{{Off: 10, Len: 4}, {Off: 100, Len: 6}, {Off: 1 << 20, Len: 5}}
+	src := []byte("aaaabbbbbbccccc")
+	f.WriteV(0, segs, src)
+	dst := make([]byte, len(src))
+	f.ReadV(0, segs, dst)
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("vectored round trip: %q", dst)
+	}
+	one := make([]byte, 6)
+	f.ReadAt(0, one, 100)
+	if string(one) != "bbbbbb" {
+		t.Fatalf("middle segment: %q", one)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	fs := testFS()
+	f, _ := fs.Create("f", 0)
+	data := bytes.Repeat([]byte{0xFF}, 2*chunkSize)
+	f.WriteAt(0, data, 0)
+	f.Truncate(100)
+	if f.Size() != 100 {
+		t.Fatalf("size after truncate = %d", f.Size())
+	}
+	f.Truncate(2 * chunkSize)
+	got := make([]byte, 2*chunkSize)
+	f.ReadAt(0, got, 0)
+	for i := 0; i < 100; i++ {
+		if got[i] != 0xFF {
+			t.Fatal("truncate destroyed retained data")
+		}
+	}
+	for i := 100; i < len(got); i++ {
+		if got[i] != 0 {
+			t.Fatalf("byte %d not zeroed after shrink+grow", i)
+		}
+	}
+}
+
+func TestTimeMonotonicAndSizeScaling(t *testing.T) {
+	fs := testFS()
+	f, t0 := fs.Create("f", 0)
+	small := make([]byte, 4<<10)
+	big := make([]byte, 16<<20)
+	t1 := f.WriteAt(t0, small, 0)
+	if t1 <= t0 {
+		t.Fatal("write completion not after issue")
+	}
+	fs.ResetClock()
+	ts := f.WriteAt(0, small, 0) // duration of small write from idle
+	fs.ResetClock()
+	tb := f.WriteAt(0, big, 0)
+	if tb <= ts {
+		t.Fatalf("16 MB write (%v) not slower than 4 KB (%v)", tb, ts)
+	}
+}
+
+func TestAggregateBandwidthSaturates(t *testing.T) {
+	// Total service time for N bytes spread over the servers cannot imply
+	// more than NumServers * WriteBW of aggregate bandwidth.
+	fs := testFS()
+	f, _ := fs.Create("f", 0)
+	nbytes := int64(256 << 20)
+	done := f.WriteV(0, []Segment{{Off: 0, Len: nbytes}}, make([]byte, nbytes))
+	bw := float64(nbytes) / done
+	if bw > fs.PeakWriteBW()*1.01 {
+		t.Fatalf("write bandwidth %.0f exceeds peak %.0f", bw, fs.PeakWriteBW())
+	}
+	// And it should get reasonably close for one huge contiguous write
+	// pipelined against the client link... unless the client link itself is
+	// the bottleneck, which it is here by design (single writer).
+	if bw > fs.Config().ClientBW*1.01 {
+		t.Fatalf("single client exceeded its link: %.0f > %.0f", bw, fs.Config().ClientBW)
+	}
+}
+
+func TestManyClientsBeatOneClient(t *testing.T) {
+	// The core scaling effect of Figure 6: multiple concurrent writers
+	// achieve higher aggregate bandwidth than one, up to the server pool.
+	cfg := DefaultConfig()
+	total := int64(64 << 20)
+
+	oneFS := New(cfg)
+	f1, _ := oneFS.Create("f", 0)
+	oneDone := f1.WriteV(0, []Segment{{0, total}}, make([]byte, total))
+
+	nClients := 8
+	manyFS := New(cfg)
+	f2, _ := manyFS.Create("f", 0)
+	share := total / int64(nClients)
+	var wg sync.WaitGroup
+	dones := make([]float64, nClients)
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			off := int64(c) * share
+			dones[c] = f2.WriteV(0, []Segment{{off, share}}, make([]byte, share))
+		}(c)
+	}
+	wg.Wait()
+	manyDone := 0.0
+	for _, d := range dones {
+		if d > manyDone {
+			manyDone = d
+		}
+	}
+	if manyDone >= oneDone {
+		t.Fatalf("8 clients (%.3fs) not faster than 1 client (%.3fs)", manyDone, oneDone)
+	}
+}
+
+func TestSeekPenaltyForDiscontiguity(t *testing.T) {
+	// Many small scattered segments must cost far more than one contiguous
+	// request of the same total size — the reason data sieving and two-phase
+	// I/O exist.
+	cfg := DefaultConfig()
+	total := int64(8 << 20)
+
+	fsA := New(cfg)
+	fA, _ := fsA.Create("f", 0)
+	contig := fA.WriteV(0, []Segment{{0, total}}, make([]byte, total))
+
+	fsB := New(cfg)
+	fB, _ := fsB.Create("f", 0)
+	const nseg = 2048
+	segs := make([]Segment, nseg)
+	segLen := total / nseg
+	for i := range segs {
+		segs[i] = Segment{Off: int64(i) * segLen * 3, Len: segLen} // strided
+	}
+	scattered := fB.WriteV(0, segs, make([]byte, total))
+
+	if scattered < 3*contig {
+		t.Fatalf("scattered (%.4fs) not clearly slower than contiguous (%.4fs)", scattered, contig)
+	}
+}
+
+func TestReadsFasterThanWrites(t *testing.T) {
+	fs := testFS()
+	f, _ := fs.Create("f", 0)
+	n := int64(32 << 20)
+	buf := make([]byte, n)
+	wDone := f.WriteV(0, []Segment{{0, n}}, buf)
+	fs.ResetClock()
+	rDone := f.ReadV(0, []Segment{{0, n}}, buf)
+	if rDone >= wDone {
+		t.Fatalf("read (%.3fs) not faster than write (%.3fs)", rDone, wDone)
+	}
+}
+
+func TestMergeSegments(t *testing.T) {
+	got := merge([]Segment{{10, 5}, {15, 5}, {30, 2}, {0, 4}, {31, 10}})
+	want := []Segment{{0, 4}, {10, 10}, {30, 11}}
+	if len(got) != len(want) {
+		t.Fatalf("merge = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCountCongruent(t *testing.T) {
+	// Oracle by brute force.
+	f := func(a8, span8, r8, m8 uint8) bool {
+		a, span := int64(a8), int64(span8)
+		m := int64(m8%16) + 1
+		r := int64(r8) % m
+		b := a + span
+		var want int64
+		for k := a; k <= b; k++ {
+			if k%m == r {
+				want++
+			}
+		}
+		return countCongruent(a, b, r, m) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRandomReadAfterWrite(t *testing.T) {
+	// Property: arbitrary interleaved writes then reads behave like a flat
+	// byte array.
+	fs := testFS()
+	f, _ := fs.Create("f", 0)
+	oracle := make([]byte, 1<<20)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		off := rng.Int63n(int64(len(oracle) - 4096))
+		n := rng.Intn(4096) + 1
+		if rng.Intn(2) == 0 {
+			p := make([]byte, n)
+			rng.Read(p)
+			copy(oracle[off:], p)
+			f.WriteAt(0, p, off)
+		} else {
+			got := make([]byte, n)
+			f.ReadAt(0, got, off)
+			if !bytes.Equal(got, oracle[off:off+int64(n)]) {
+				t.Fatalf("iter %d: read mismatch at %d+%d", i, off, n)
+			}
+		}
+	}
+}
+
+func TestDiscardModeTracksSizeOnly(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Discard = true
+	fs := New(cfg)
+	f, _ := fs.Create("f", 0)
+	done := f.WriteAt(0, bytes.Repeat([]byte{1}, 1<<20), 0)
+	if done <= 0 {
+		t.Fatal("discard mode charged no time")
+	}
+	if f.Size() != 1<<20 {
+		t.Fatalf("discard mode lost size: %d", f.Size())
+	}
+	got := make([]byte, 16)
+	f.ReadAt(0, got, 0)
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("discard mode retained data")
+		}
+	}
+}
+
+func TestSerialFileAdapter(t *testing.T) {
+	fs := testFS()
+	f, t0 := fs.Create("f", 0)
+	s := NewSerialFile(f, t0)
+	if _, err := s.WriteAt([]byte("hello"), 3); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := s.ReadAt(buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("adapter round trip: %q", buf)
+	}
+	if s.Clock() <= t0 {
+		t.Fatal("adapter clock did not advance")
+	}
+	if sz, _ := s.Size(); sz != 8 {
+		t.Fatalf("size = %d", sz)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := s.Size(); sz != 4 {
+		t.Fatalf("size after truncate = %d", sz)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	fs := testFS()
+	for _, n := range []string{"c", "a", "b"} {
+		fs.Create(n, 0)
+	}
+	names := fs.Names()
+	if fmt.Sprint(names) != "[a b c]" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestUnalignedWritePaysRMW(t *testing.T) {
+	// A write of one stripe's worth of data that is stripe-aligned must be
+	// cheaper than the same write misaligned by half a stripe (which touches
+	// two partial blocks and pays two read-modify-writes).
+	// At a size where every server is busy either way (so striping
+	// parallelism cannot mask the penalty), the misaligned variant touches
+	// two partial blocks and pays their read-before-write.
+	cfg := DefaultConfig()
+	stripe := cfg.StripeSize
+	n := stripe * int64(2*cfg.NumServers) // two full rounds of the server ring
+
+	fsA := New(cfg)
+	fa, _ := fsA.Create("a", 0)
+	aligned := fa.WriteV(0, []Segment{{Off: 0, Len: n}}, make([]byte, n))
+
+	fsB := New(cfg)
+	fb, _ := fsB.Create("b", 0)
+	misaligned := fb.WriteV(0, []Segment{{Off: stripe / 2, Len: n}}, make([]byte, n))
+
+	if misaligned <= aligned {
+		t.Fatalf("misaligned write (%.5fs) not costlier than aligned (%.5fs)", misaligned, aligned)
+	}
+	// Reads never pay RMW: the gap must be much smaller.
+	fsC := New(cfg)
+	fc, _ := fsC.Create("c", 0)
+	alignedR := fc.ReadV(0, []Segment{{Off: 0, Len: n}}, make([]byte, n))
+	fsD := New(cfg)
+	fd, _ := fsD.Create("d", 0)
+	misalignedR := fd.ReadV(0, []Segment{{Off: stripe / 2, Len: n}}, make([]byte, n))
+	if misalignedR > alignedR*1.10 {
+		t.Fatalf("misaligned read (%.5fs) penalized like a write (aligned %.5fs)", misalignedR, alignedR)
+	}
+}
+
+func TestDiscardThresholdKeepsMetadata(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Discard = true
+	cfg.DiscardThreshold = 4096
+	fs := New(cfg)
+	f, _ := fs.Create("f", 0)
+	// Small (metadata-sized) write is retained.
+	f.WriteAt(0, []byte("superblock!"), 0)
+	// Large (bulk) write is dropped.
+	f.WriteAt(0, bytes.Repeat([]byte{0xAB}, 8192), 1024)
+	small := make([]byte, 11)
+	f.ReadAt(0, small, 0)
+	if string(small) != "superblock!" {
+		t.Fatalf("metadata lost in discard mode: %q", small)
+	}
+	bulk := make([]byte, 16)
+	f.ReadAt(0, bulk, 2048)
+	for _, b := range bulk {
+		if b != 0 {
+			t.Fatal("bulk data retained in discard mode")
+		}
+	}
+	if f.Size() != 1024+8192 {
+		t.Fatalf("size = %d", f.Size())
+	}
+}
