@@ -9,6 +9,9 @@
 //	flashio-bench -block 16             # only the 16x16x16 charts
 //	flashio-bench -procs 16,32,64,128   # choose the process counts
 //	flashio-bench -blocks-per-proc 20   # shrink memory use for large runs
+//	flashio-bench -stats                # per-layer I/O statistics per run
+//	flashio-bench -trace out.jsonl      # dump the event trace (see nctrace)
+//	flashio-bench -json BENCH_flashio.json   # machine-readable results
 //
 // Note on scale: the paper ran to 512 processes on real hardware. Every
 // simulated process here holds its real FLASH block data in this process's
@@ -18,14 +21,19 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"pnetcdf/internal/bench"
+	"pnetcdf/internal/cmdutil"
 	"pnetcdf/internal/flash"
+	"pnetcdf/internal/iostat"
 )
+
+const tool = "flashio-bench"
 
 var (
 	block    = flag.String("block", "both", "block size: 8, 16 or both")
@@ -33,11 +41,33 @@ var (
 	bpp      = flag.Int("blocks-per-proc", 0, "blocks per process (default 80, the benchmark's value)")
 	files    = flag.String("files", "all", "checkpoint, plotfile, corners or all")
 	read     = flag.Bool("read", false, "measure checkpoint read-back instead (the paper's future-work comparison)")
+	stats    = flag.Bool("stats", false, "print per-layer I/O statistics after each PnetCDF run")
+	traceOut = flag.String("trace", "", "write a JSON-lines event trace of the PnetCDF runs to this file")
+	jsonOut  = flag.String("json", "", "write machine-readable results (implies -stats) to this file")
 )
+
+// benchRecord is one PnetCDF data point in the -json output.
+type benchRecord struct {
+	File     string           `json:"file"`
+	Block    string           `json:"block"`
+	Procs    int              `json:"procs"`
+	MBps     float64          `json:"mbps"`
+	HDF5MBps float64          `json:"hdf5_mbps"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// benchOutput is the top-level -json document.
+type benchOutput struct {
+	Benchmark string        `json:"benchmark"`
+	Machine   string        `json:"machine"`
+	Read      bool          `json:"read"`
+	Runs      []benchRecord `json:"runs"`
+}
 
 func main() {
 	flag.Parse()
 	machine := bench.ASCIFrost()
+	collect := *stats || *jsonOut != ""
 	var configs []flash.Config
 	switch *block {
 	case "8":
@@ -47,8 +77,7 @@ func main() {
 	case "both":
 		configs = []flash.Config{flash.Default8(), flash.Default16()}
 	default:
-		fmt.Fprintln(os.Stderr, "flashio-bench: -block must be 8, 16 or both")
-		os.Exit(2)
+		cmdutil.Usagef("flashio-bench: -block must be 8, 16 or both")
 	}
 	var kinds []bench.FlashFile
 	if *read {
@@ -64,9 +93,13 @@ func main() {
 	case "all":
 		kinds = []bench.FlashFile{bench.FlashCheckpoint, bench.FlashPlotfile, bench.FlashCorners}
 	default:
-		fmt.Fprintln(os.Stderr, "flashio-bench: -files must be checkpoint, plotfile, corners or all")
-		os.Exit(2)
+		cmdutil.Usagef("flashio-bench: -files must be checkpoint, plotfile, corners or all")
 	}
+	var trace *iostat.Trace
+	if *traceOut != "" {
+		trace = iostat.NewTrace(iostat.DefaultTraceCap)
+	}
+	out := benchOutput{Benchmark: "flashio", Machine: machine.Name, Read: *read}
 	for _, cfg := range configs {
 		if *bpp > 0 {
 			cfg.BlocksPerProc = *bpp
@@ -77,8 +110,7 @@ func main() {
 			for _, s := range strings.Split(*procsStr, ",") {
 				var p int
 				if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &p); err != nil || p < 1 {
-					fmt.Fprintf(os.Stderr, "flashio-bench: bad proc count %q\n", s)
-					os.Exit(2)
+					cmdutil.Usagef("flashio-bench: bad proc count %q", s)
 				}
 				plist = append(plist, p)
 			}
@@ -91,14 +123,47 @@ func main() {
 				Procs:   plist,
 				Discard: true,
 				Read:    *read,
+				Stats:   collect,
+				Trace:   trace,
 			})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "flashio-bench:", err)
-				os.Exit(1)
-			}
+			cmdutil.Fatal(tool, err)
 			bench.WriteFigure7(os.Stdout, fig)
 			fmt.Println()
+			for i, p := range fig.Procs {
+				sum := fig.Stats[i]
+				if *stats && sum != nil {
+					fmt.Printf("I/O statistics: %s %s, %d procs (PnetCDF)\n",
+						fig.File, fig.Block, p)
+					iostat.WriteTable(os.Stdout, sum)
+					fmt.Println()
+				}
+				rec := benchRecord{
+					File:     fig.File.String(),
+					Block:    fig.Block,
+					Procs:    p,
+					MBps:     fig.PnetCDF[i],
+					HDF5MBps: fig.HDF5[i],
+				}
+				if sum != nil {
+					rec.Counters = sum.KeyCounters()
+				}
+				out.Runs = append(out.Runs, rec)
+			}
 		}
+	}
+	if trace != nil {
+		f, err := os.Create(*traceOut)
+		cmdutil.Fatal(tool, err)
+		err = trace.WriteJSONL(f)
+		cmdutil.Fatal(tool, err)
+		cmdutil.Fatal(tool, f.Close())
+		fmt.Printf("trace: %d events to %s (%d dropped)\n", trace.Len(), *traceOut, trace.Dropped())
+	}
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(out, "", "  ")
+		cmdutil.Fatal(tool, err)
+		cmdutil.Fatal(tool, os.WriteFile(*jsonOut, append(blob, '\n'), 0o644))
+		fmt.Printf("results: %d runs to %s\n", len(out.Runs), *jsonOut)
 	}
 }
 

@@ -17,9 +17,9 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"strings"
 
+	"pnetcdf/internal/cmdutil"
 	"pnetcdf/internal/h5sim"
 	"pnetcdf/internal/mpi"
 	"pnetcdf/internal/nctype"
@@ -44,9 +44,7 @@ func main() {
 		fmt.Println("}")
 		return nil
 	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	cmdutil.Fatal("h5dump", err)
 }
 
 func build(c *mpi.Comm, fsys *pfs.FS) error {

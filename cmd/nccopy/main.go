@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"pnetcdf/internal/cmdutil"
 	"pnetcdf/internal/nctype"
 	"pnetcdf/internal/netcdf"
 )
@@ -29,13 +30,9 @@ var (
 func main() {
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: nccopy [-k 1|2|5] [-align N] in.nc out.nc")
-		os.Exit(2)
+		cmdutil.Usagef("usage: nccopy [-k 1|2|5] [-align N] in.nc out.nc")
 	}
-	if err := run(flag.Arg(0), flag.Arg(1)); err != nil {
-		fmt.Fprintln(os.Stderr, "nccopy:", err)
-		os.Exit(1)
-	}
+	cmdutil.Fatal("nccopy", run(flag.Arg(0), flag.Arg(1)))
 }
 
 func run(inPath, outPath string) error {

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"pnetcdf/internal/cdf"
+	"pnetcdf/internal/cmdutil"
 	"pnetcdf/internal/nctype"
 	"pnetcdf/internal/netcdf"
 )
@@ -30,11 +31,11 @@ var (
 func main() {
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: ncdiff [-h] [-t tol] a.nc b.nc")
-		os.Exit(2)
+		cmdutil.Usagef("usage: ncdiff [-h] [-t tol] a.nc b.nc")
 	}
 	diffs, err := run(flag.Arg(0), flag.Arg(1))
 	if err != nil {
+		// Like diff/cmp: 1 means the files differ, 2 means trouble.
 		fmt.Fprintln(os.Stderr, "ncdiff:", err)
 		os.Exit(2)
 	}

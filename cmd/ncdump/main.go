@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"pnetcdf/internal/cdf"
+	"pnetcdf/internal/cmdutil"
 	"pnetcdf/internal/nctype"
 	"pnetcdf/internal/netcdf"
 )
@@ -27,27 +28,16 @@ var headerOnly = flag.Bool("h", false, "show header information only, no data")
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ncdump [-h] file.nc")
-		os.Exit(2)
+		cmdutil.Usagef("usage: ncdump [-h] file.nc")
 	}
 	path := flag.Arg(0)
 	f, err := os.Open(path)
-	if err != nil {
-		fatal(err)
-	}
+	cmdutil.Fatal("ncdump", err)
 	defer f.Close()
 	d, err := netcdf.Open(netcdf.OSStore{F: f}, nctype.NoWrite)
-	if err != nil {
-		fatal(err)
-	}
-	if err := dump(os.Stdout, d, strings.TrimSuffix(filepath.Base(path), ".nc"), !*headerOnly); err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ncdump:", err)
-	os.Exit(1)
+	cmdutil.Fatal("ncdump", err)
+	err = dump(os.Stdout, d, strings.TrimSuffix(filepath.Base(path), ".nc"), !*headerOnly)
+	cmdutil.Fatal("ncdump", err)
 }
 
 func dump(w *os.File, d *netcdf.Dataset, name string, withData bool) error {

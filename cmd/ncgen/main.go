@@ -9,10 +9,10 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
 
 	"pnetcdf/internal/cdl"
+	"pnetcdf/internal/cmdutil"
 	"pnetcdf/internal/nctype"
 	"pnetcdf/internal/netcdf"
 )
@@ -25,21 +25,14 @@ var (
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 || *output == "" {
-		fmt.Fprintln(os.Stderr, "usage: ncgen -o out.nc [-k 1|2|5] input.cdl")
-		os.Exit(2)
+		cmdutil.Usagef("usage: ncgen -o out.nc [-k 1|2|5] input.cdl")
 	}
 	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
+	cmdutil.Fatal("ncgen", err)
 	schema, err := cdl.Parse(string(src))
-	if err != nil {
-		fatal(err)
-	}
+	cmdutil.Fatal("ncgen", err)
 	f, err := os.OpenFile(*output, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		fatal(err)
-	}
+	cmdutil.Fatal("ncgen", err)
 	mode := nctype.Clobber
 	switch *kind {
 	case 2:
@@ -48,18 +41,7 @@ func main() {
 		mode |= nctype.Bit64Data
 	}
 	d, err := netcdf.Create(netcdf.OSStore{F: f}, mode)
-	if err != nil {
-		fatal(err)
-	}
-	if err := schema.Build(d); err != nil {
-		fatal(err)
-	}
-	if err := d.Close(); err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ncgen:", err)
-	os.Exit(1)
+	cmdutil.Fatal("ncgen", err)
+	cmdutil.Fatal("ncgen", schema.Build(d))
+	cmdutil.Fatal("ncgen", d.Close())
 }

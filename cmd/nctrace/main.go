@@ -1,0 +1,264 @@
+// Command nctrace summarizes a JSON-lines I/O trace produced by the
+// benchmarks' -trace flag (see internal/iostat): per-layer operation
+// counts, a request-size histogram, the per-rank timeline, and — given the
+// file system geometry — the per-server load split that explains
+// flattening bandwidth curves.
+//
+// Usage:
+//
+//	nctrace trace.jsonl                      # summary
+//	nctrace -servers 12 -stripe 262144 t.jsonl   # add per-server load
+//	nctrace -layer pfs t.jsonl              # restrict to one layer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/bits"
+	"os"
+	"sort"
+
+	"pnetcdf/internal/cmdutil"
+	"pnetcdf/internal/iostat"
+)
+
+const tool = "nctrace"
+
+var (
+	servers = flag.Int("servers", 0, "I/O server count for per-server load (0 = skip)")
+	stripe  = flag.Int64("stripe", 256<<10, "stripe size in bytes for per-server load")
+	layer   = flag.String("layer", "", "restrict the summary to one layer (pfs, mpiio, pnetcdf)")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		cmdutil.Usagef("usage: nctrace [-servers N] [-stripe BYTES] [-layer L] trace.jsonl")
+	}
+	if *stripe < 1 {
+		cmdutil.Usagef("nctrace: -stripe must be positive")
+	}
+	f, err := os.Open(flag.Arg(0))
+	cmdutil.Fatal(tool, err)
+	defer f.Close()
+	events, err := iostat.ReadJSONL(f)
+	cmdutil.Fatal(tool, err)
+	if *layer != "" {
+		kept := events[:0]
+		for _, e := range events {
+			if e.Layer == *layer {
+				kept = append(kept, e)
+			}
+		}
+		events = kept
+	}
+	if len(events) == 0 {
+		fmt.Println("no events")
+		return
+	}
+	fmt.Printf("%d events\n\n", len(events))
+	opTable(events)
+	sizeHistogram(events)
+	rankTimeline(events)
+	if *servers > 0 {
+		serverLoad(events, *servers, *stripe)
+	}
+}
+
+// opTable prints per (layer, op) counts, bytes and extent totals.
+func opTable(events []iostat.Event) {
+	type key struct{ layer, op string }
+	type agg struct {
+		calls, bytes, extents int64
+		time                  float64
+	}
+	m := map[key]*agg{}
+	for _, e := range events {
+		k := key{e.Layer, e.Op}
+		a := m[k]
+		if a == nil {
+			a = &agg{}
+			m[k] = a
+		}
+		a.calls++
+		a.bytes += e.Len
+		a.extents += int64(e.Extents)
+		a.time += e.End - e.Start
+	}
+	keys := make([]key, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].layer != keys[j].layer {
+			return keys[i].layer < keys[j].layer
+		}
+		return keys[i].op < keys[j].op
+	})
+	fmt.Printf("%-8s %-12s %8s %14s %12s %10s %12s\n",
+		"layer", "op", "calls", "bytes", "avg-size", "extents", "time(s)")
+	for _, k := range keys {
+		a := m[k]
+		avg := int64(0)
+		if a.calls > 0 {
+			avg = a.bytes / a.calls
+		}
+		fmt.Printf("%-8s %-12s %8d %14d %12d %10d %12.4f\n",
+			k.layer, k.op, a.calls, a.bytes, avg, a.extents, a.time)
+	}
+	fmt.Println()
+}
+
+// sizeHistogram prints the power-of-two request-size distribution of the
+// lowest traced layer present (pfs when available), the quantity Thakur et
+// al. correlate with MPI-IO performance.
+func sizeHistogram(events []iostat.Event) {
+	histLayer := "pfs"
+	found := false
+	for _, e := range events {
+		if e.Layer == histLayer {
+			found = true
+			break
+		}
+	}
+	if !found {
+		histLayer = events[0].Layer
+	}
+	var buckets [64]int64
+	total := 0
+	for _, e := range events {
+		if e.Layer != histLayer || e.Len <= 0 {
+			continue
+		}
+		buckets[bits.Len64(uint64(e.Len)-1)]++
+		total++
+	}
+	if total == 0 {
+		return
+	}
+	fmt.Printf("request sizes (%s layer)\n", histLayer)
+	maxCount := int64(0)
+	for _, c := range buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range buckets {
+		if c == 0 {
+			continue
+		}
+		bar := int(40 * c / maxCount)
+		fmt.Printf("  <=%10s %8d %s\n", humanSize(int64(1)<<i), c, barString(bar))
+	}
+	fmt.Println()
+}
+
+func barString(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}
+
+func humanSize(b int64) string {
+	switch {
+	case b < 1<<10:
+		return fmt.Sprintf("%dB", b)
+	case b < 1<<20:
+		return fmt.Sprintf("%dKiB", b>>10)
+	case b < 1<<30:
+		return fmt.Sprintf("%dMiB", b>>20)
+	default:
+		return fmt.Sprintf("%dGiB", b>>30)
+	}
+}
+
+// rankTimeline prints one row per rank: event count, bytes, busy time and
+// the [first-start, last-end] span on the virtual clock.
+func rankTimeline(events []iostat.Event) {
+	type agg struct {
+		events, bytes int64
+		busy          float64
+		first, last   float64
+		seen          bool
+	}
+	m := map[int]*agg{}
+	for _, e := range events {
+		a := m[e.Rank]
+		if a == nil {
+			a = &agg{}
+			m[e.Rank] = a
+		}
+		a.events++
+		a.bytes += e.Len
+		a.busy += e.End - e.Start
+		if !a.seen || e.Start < a.first {
+			a.first = e.Start
+		}
+		if !a.seen || e.End > a.last {
+			a.last = e.End
+		}
+		a.seen = true
+	}
+	ranks := make([]int, 0, len(m))
+	for r := range m {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	fmt.Printf("per-rank timeline (virtual seconds)\n")
+	fmt.Printf("  %6s %8s %14s %10s %10s %10s\n", "rank", "events", "bytes", "first", "last", "busy")
+	for _, r := range ranks {
+		a := m[r]
+		fmt.Printf("  %6d %8d %14d %10.4f %10.4f %10.4f\n",
+			r, a.events, a.bytes, a.first, a.last, a.busy)
+	}
+	fmt.Println()
+}
+
+// serverLoad maps pfs request bytes to striped servers and reports the
+// imbalance (max/mean) — the quantity that caps aggregate bandwidth when
+// the access pattern favors a subset of the servers.
+func serverLoad(events []iostat.Event, nservers int, stripeSize int64) {
+	load := make([]int64, nservers)
+	for _, e := range events {
+		if e.Layer != "pfs" || e.Len <= 0 || e.Off < 0 {
+			continue
+		}
+		// Walk the request stripe by stripe. Contiguity within the event is
+		// assumed (extents are not in the dump), which is exact for the
+		// merged requests the pfs layer issues.
+		off, n := e.Off, e.Len
+		for n > 0 {
+			srv := (off / stripeSize) % int64(nservers)
+			k := stripeSize - off%stripeSize
+			if k > n {
+				k = n
+			}
+			load[srv] += k
+			off += k
+			n -= k
+		}
+	}
+	var sum, max int64
+	for _, b := range load {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum == 0 {
+		return
+	}
+	mean := float64(sum) / float64(nservers)
+	fmt.Printf("per-server load (%d servers, %s stripe)\n", nservers, humanSize(stripeSize))
+	for s, b := range load {
+		fmt.Printf("  server %2d %14d (%.1f%%)\n", s, b, 100*float64(b)/float64(sum))
+	}
+	imb := math.Inf(1)
+	if mean > 0 {
+		imb = float64(max) / mean
+	}
+	fmt.Printf("  imbalance max/mean = %.3f\n", imb)
+}

@@ -15,12 +15,12 @@ import (
 	"os"
 
 	"pnetcdf/internal/cdf"
+	"pnetcdf/internal/cmdutil"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: ncvalidate file.nc [more.nc ...]")
-		os.Exit(2)
+		cmdutil.Usagef("usage: ncvalidate file.nc [more.nc ...]")
 	}
 	bad := false
 	for _, path := range os.Args[1:] {

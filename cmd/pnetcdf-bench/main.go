@@ -9,6 +9,8 @@
 //	pnetcdf-bench -size 1gb      # the 1 GB charts (procs up to 32)
 //	pnetcdf-bench -op write      # only the write chart
 //	pnetcdf-bench -ablate        # the design-choice ablations
+//	pnetcdf-bench -stats         # per-layer I/O statistics per run
+//	pnetcdf-bench -trace t.jsonl # dump the event trace (see nctrace)
 package main
 
 import (
@@ -18,13 +20,19 @@ import (
 	"strings"
 
 	"pnetcdf/internal/bench"
+	"pnetcdf/internal/cmdutil"
+	"pnetcdf/internal/iostat"
 )
 
+const tool = "pnetcdf-bench"
+
 var (
-	size   = flag.String("size", "64mb", "dataset size: 64mb or 1gb")
-	op     = flag.String("op", "both", "operation: write, read or both")
-	procs  = flag.String("procs", "", "comma-separated process counts (default per paper)")
-	ablate = flag.Bool("ablate", false, "run the design-choice ablations instead")
+	size     = flag.String("size", "64mb", "dataset size: 64mb or 1gb")
+	op       = flag.String("op", "both", "operation: write, read or both")
+	procs    = flag.String("procs", "", "comma-separated process counts (default per paper)")
+	ablate   = flag.Bool("ablate", false, "run the design-choice ablations instead")
+	stats    = flag.Bool("stats", false, "print per-layer I/O statistics after each run")
+	traceOut = flag.String("trace", "", "write a JSON-lines event trace to this file")
 )
 
 func main() {
@@ -46,16 +54,14 @@ func main() {
 		plist = []int{1, 2, 4, 8, 16, 32}
 		discard = true // timing-only storage for the large runs
 	default:
-		fmt.Fprintln(os.Stderr, "pnetcdf-bench: -size must be 64mb or 1gb")
-		os.Exit(2)
+		cmdutil.Usagef("pnetcdf-bench: -size must be 64mb or 1gb")
 	}
 	if *procs != "" {
 		plist = nil
 		for _, s := range strings.Split(*procs, ",") {
 			var p int
 			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &p); err != nil || p < 1 {
-				fmt.Fprintf(os.Stderr, "pnetcdf-bench: bad proc count %q\n", s)
-				os.Exit(2)
+				cmdutil.Usagef("pnetcdf-bench: bad proc count %q", s)
 			}
 			plist = append(plist, p)
 		}
@@ -68,8 +74,11 @@ func main() {
 		ops = []bool{true}
 	case "both":
 	default:
-		fmt.Fprintln(os.Stderr, "pnetcdf-bench: -op must be write, read or both")
-		os.Exit(2)
+		cmdutil.Usagef("pnetcdf-bench: -op must be write, read or both")
+	}
+	var trace *iostat.Trace
+	if *traceOut != "" {
+		trace = iostat.NewTrace(iostat.DefaultTraceCap)
 	}
 	for _, read := range ops {
 		fig, err := bench.RunFigure6(bench.Fig6Options{
@@ -78,13 +87,34 @@ func main() {
 			Procs:   plist,
 			Read:    read,
 			Discard: discard,
+			Stats:   *stats,
+			Trace:   trace,
 		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pnetcdf-bench:", err)
-			os.Exit(1)
-		}
+		cmdutil.Fatal(tool, err)
 		bench.WriteFigure6(os.Stdout, fig)
 		fmt.Println()
+		if *stats {
+			for _, part := range bench.AllPartitions {
+				sums := fig.Stats[part]
+				for i, p := range fig.Procs {
+					if i >= len(sums) || sums[i] == nil {
+						continue
+					}
+					fmt.Printf("I/O statistics: %s partition %v, %d procs\n",
+						fig.Op, part, p)
+					iostat.WriteTable(os.Stdout, sums[i])
+					fmt.Println()
+				}
+			}
+		}
+	}
+	if trace != nil {
+		f, err := os.Create(*traceOut)
+		cmdutil.Fatal(tool, err)
+		err = trace.WriteJSONL(f)
+		cmdutil.Fatal(tool, err)
+		cmdutil.Fatal(tool, f.Close())
+		fmt.Printf("trace: %d events to %s (%d dropped)\n", trace.Len(), *traceOut, trace.Dropped())
 	}
 }
 
@@ -101,10 +131,7 @@ func runAblations(m bench.MachineSpec) {
 		func() (bench.AblationResult, error) { return bench.AblationVarAlign(m, 16, 4) },
 	} {
 		res, err := r()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pnetcdf-bench:", err)
-			os.Exit(1)
-		}
+		cmdutil.Fatal(tool, err)
 		fmt.Println(" ", res)
 	}
 }

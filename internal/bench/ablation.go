@@ -302,11 +302,11 @@ func AblationLayout(m MachineSpec, nprocs int) (AblationResult, error) {
 	opt.Config.NVar = 24
 	opt.Config.NPlotVar = 8
 	opt.Config.BlocksPerProc = 16
-	nc, err := runFlashOnce(opt, nprocs, false)
+	nc, _, err := runFlashOnce(opt, nprocs, false)
 	if err != nil {
 		return AblationResult{}, err
 	}
-	h5, err := runFlashOnce(opt, nprocs, true)
+	h5, _, err := runFlashOnce(opt, nprocs, true)
 	if err != nil {
 		return AblationResult{}, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pnetcdf/internal/core"
+	"pnetcdf/internal/iostat"
 	"pnetcdf/internal/mpi"
 	"pnetcdf/internal/nctype"
 	"pnetcdf/internal/netcdf"
@@ -23,6 +24,9 @@ type Figure6 struct {
 	// Points[partition][i] is the bandwidth with Procs[i] processes.
 	Procs  []int
 	Points map[Partition][]float64
+	// Stats[partition][i] is the reduced iostat summary of the measured
+	// phase (nil unless Fig6Options.Stats).
+	Stats map[Partition][]*iostat.Summary
 }
 
 // Fig6Options configures a Figure 6 run.
@@ -34,6 +38,11 @@ type Fig6Options struct {
 	Read       bool
 	// Discard skips data retention in the simulated FS (large arrays).
 	Discard bool
+	// Stats enables per-rank iostat counters for the measured phase; the
+	// reduced summaries land in Figure6.Stats.
+	Stats bool
+	// Trace, when non-nil, receives I/O events from every parallel run.
+	Trace *iostat.Trace
 }
 
 // Dims64MB is the 64 MB dataset (256^3 float32).
@@ -57,6 +66,7 @@ func RunFigure6(opt Fig6Options) (*Figure6, error) {
 	fig := &Figure6{
 		Machine: opt.Machine.Name, Op: op, Dims: opt.Dims, Bytes: nbytes,
 		Procs: opt.Procs, Points: map[Partition][]float64{},
+		Stats: map[Partition][]*iostat.Summary{},
 	}
 	serial, err := runFig6Serial(opt)
 	if err != nil {
@@ -65,11 +75,12 @@ func RunFigure6(opt Fig6Options) (*Figure6, error) {
 	fig.SerialMBps = serial
 	for _, part := range opt.Partitions {
 		for _, p := range opt.Procs {
-			mbps, err := runFig6Parallel(opt, part, p)
+			mbps, sum, err := runFig6Parallel(opt, part, p)
 			if err != nil {
 				return nil, fmt.Errorf("partition %v procs %d: %w", part, p, err)
 			}
 			fig.Points[part] = append(fig.Points[part], mbps)
+			fig.Stats[part] = append(fig.Stats[part], sum)
 		}
 	}
 	return fig, nil
@@ -129,13 +140,18 @@ func runFig6Serial(opt Fig6Options) (float64, error) {
 }
 
 // runFig6Parallel measures PnetCDF with one partition and process count.
-func runFig6Parallel(opt Fig6Options, part Partition, nprocs int) (float64, error) {
+func runFig6Parallel(opt Fig6Options, part Partition, nprocs int) (float64, *iostat.Summary, error) {
 	cfg := opt.Machine.FS
 	cfg.Discard = opt.Discard
 	fsys := pfs.New(cfg)
 	nbytes := 4 * opt.Dims[0] * opt.Dims[1] * opt.Dims[2]
 	var makespan float64
+	var sum *iostat.Summary
 	err := mpi.Run(nprocs, opt.Machine.Net, func(c *mpi.Comm) error {
+		if opt.Stats {
+			c.Proc().SetStats(iostat.New())
+		}
+		c.Proc().SetTrace(opt.Trace)
 		mode := nctype.Clobber
 		if nbytes > 1<<31-1 {
 			mode |= nctype.Bit64Offset
@@ -166,9 +182,11 @@ func runFig6Parallel(opt Fig6Options, part Partition, nprocs int) (float64, erro
 				return err
 			}
 		}
-		// Measured phase.
+		// Measured phase: zero the clocks and counters so setup I/O does
+		// not pollute the measurement.
 		c.Proc().SetClock(0)
 		fsys.ResetClock()
+		c.Proc().Stats().Reset()
 		c.Barrier()
 		t0 := c.Clock()
 		if opt.Read {
@@ -188,10 +206,18 @@ func runFig6Parallel(opt Fig6Options, part Partition, nprocs int) (float64, erro
 		if c.Rank() == 0 {
 			makespan = end - t0
 		}
-		return d.Close()
+		if err := d.Close(); err != nil {
+			return err
+		}
+		if opt.Stats {
+			if s := iostat.Reduce(c, c.Proc().Stats()); s != nil {
+				sum = s
+			}
+		}
+		return nil
 	})
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return float64(nbytes) / makespan / 1e6, nil
+	return float64(nbytes) / makespan / 1e6, sum, nil
 }

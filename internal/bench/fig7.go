@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pnetcdf/internal/flash"
+	"pnetcdf/internal/iostat"
 	"pnetcdf/internal/mpi"
 	"pnetcdf/internal/pfs"
 )
@@ -41,6 +42,9 @@ type Figure7 struct {
 	Procs   []int
 	PnetCDF []float64 // MB/s
 	HDF5    []float64 // MB/s
+	// Stats[i] is the reduced iostat summary of the PnetCDF run with
+	// Procs[i] processes (nil unless Fig7Options.Stats).
+	Stats []*iostat.Summary
 }
 
 // Fig7Options configures a Figure 7 run.
@@ -53,6 +57,11 @@ type Fig7Options struct {
 	// Read measures checkpoint read-back instead of writing — the paper's
 	// future-work comparison (§6). Only meaningful with FlashCheckpoint.
 	Read bool
+	// Stats enables per-rank iostat counters for the PnetCDF runs; the
+	// reduced summaries land in Figure7.Stats.
+	Stats bool
+	// Trace, when non-nil, receives I/O events from the PnetCDF runs.
+	Trace *iostat.Trace
 }
 
 // RunFigure7 measures one chart.
@@ -68,26 +77,35 @@ func RunFigure7(opt Fig7Options) (*Figure7, error) {
 		Procs:   opt.Procs,
 	}
 	for _, p := range opt.Procs {
-		nc, err := runFlashOnce(opt, p, false)
+		nc, sum, err := runFlashOnce(opt, p, false)
 		if err != nil {
 			return nil, fmt.Errorf("pnetcdf %d procs: %w", p, err)
 		}
-		h5, err := runFlashOnce(opt, p, true)
+		h5, _, err := runFlashOnce(opt, p, true)
 		if err != nil {
 			return nil, fmt.Errorf("hdf5 %d procs: %w", p, err)
 		}
 		fig.PnetCDF = append(fig.PnetCDF, nc.BandwidthMBps())
 		fig.HDF5 = append(fig.HDF5, h5.BandwidthMBps())
+		fig.Stats = append(fig.Stats, sum)
 	}
 	return fig, nil
 }
 
-func runFlashOnce(opt Fig7Options, nprocs int, hdf5 bool) (flash.Report, error) {
+func runFlashOnce(opt Fig7Options, nprocs int, hdf5 bool) (flash.Report, *iostat.Summary, error) {
 	cfg := opt.Machine.FS
 	cfg.Discard = opt.Discard
 	fsys := pfs.New(cfg)
 	var rep flash.Report
+	var sum *iostat.Summary
+	collect := opt.Stats && !hdf5
 	err := mpi.Run(nprocs, opt.Machine.Net, func(c *mpi.Comm) error {
+		if collect {
+			c.Proc().SetStats(iostat.New())
+		}
+		if !hdf5 {
+			c.Proc().SetTrace(opt.Trace)
+		}
 		var r flash.Report
 		var err error
 		switch {
@@ -105,6 +123,7 @@ func runFlashOnce(opt Fig7Options, nprocs int, hdf5 bool) (flash.Report, error) 
 			}
 			fsys.ResetClock()
 			c.Proc().SetClock(0)
+			c.Proc().Stats().Reset()
 			c.Barrier()
 			r, err = flash.ReadCheckpointPnetCDF(c, fsys, "f.nc", opt.Config, nil)
 		case hdf5 && opt.File == FlashCheckpoint:
@@ -126,7 +145,12 @@ func runFlashOnce(opt Fig7Options, nprocs int, hdf5 bool) (flash.Report, error) 
 		if c.Rank() == 0 {
 			rep = r
 		}
+		if collect {
+			if s := iostat.Reduce(c, c.Proc().Stats()); s != nil {
+				sum = s
+			}
+		}
 		return nil
 	})
-	return rep, err
+	return rep, sum, err
 }

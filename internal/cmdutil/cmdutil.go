@@ -1,0 +1,34 @@
+// Package cmdutil is the shared error-handling convention for the cmd/*
+// tools: diagnostics go to stderr prefixed with the tool name, usage errors
+// exit 2, and operational failures exit 1 — the same split flag.Parse and
+// the POSIX utilities use.
+package cmdutil
+
+import (
+	"fmt"
+	"os"
+)
+
+// Fatal prints "tool: err" to stderr and exits 1. A nil err is a no-op, so
+// callers can write cmdutil.Fatal(tool, run()) unconditionally.
+func Fatal(tool string, err error) {
+	if err == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}
+
+// Fatalf prints a formatted diagnostic prefixed with the tool name and
+// exits 1.
+func Fatalf(tool, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+// Usagef prints a formatted usage diagnostic to stderr and exits 2 (the
+// conventional bad-invocation code).
+func Usagef(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"pnetcdf/internal/access"
 	"pnetcdf/internal/cdf"
+	"pnetcdf/internal/iostat"
 	"pnetcdf/internal/mpi"
 	"pnetcdf/internal/mpitype"
 	"pnetcdf/internal/nctype"
@@ -317,10 +318,37 @@ func (d *Dataset) putFlex(varid int, start, count, stride []int64, data any, mem
 	if err := d.f.SetView(0, view); err != nil {
 		return err
 	}
+	t0 := d.comm.Clock()
 	if collective {
-		return d.f.WriteAtAll(0, ext)
+		err = d.f.WriteAtAll(0, ext)
+	} else {
+		err = d.f.WriteAt(0, ext)
 	}
-	return d.f.WriteAt(0, ext)
+	if err == nil {
+		d.recordAccess("put", collective, iostat.NCCollPuts, iostat.NCIndepPuts,
+			iostat.NCBytesPut, iostat.NCPutTimeNs, int64(len(ext)), t0)
+	}
+	return err
+}
+
+// recordAccess accumulates one put/get call's counters and trace event.
+func (d *Dataset) recordAccess(op string, collective bool, coll, indep, bytes, timeNs iostat.Counter, n int64, start float64) {
+	if d.st == nil && d.tr == nil {
+		return
+	}
+	k := indep
+	if collective {
+		k = coll
+		op = "coll_" + op
+	}
+	end := d.comm.Clock()
+	d.st.Add(k, 1)
+	d.st.Add(bytes, n)
+	d.st.AddTime(timeNs, end-start)
+	d.tr.Record(iostat.Event{
+		Layer: "pnetcdf", Op: op, Rank: d.comm.Rank(),
+		Off: -1, Len: n, Start: start, End: end,
+	})
 }
 
 // getFlex is the single read path.
@@ -348,6 +376,7 @@ func (d *Dataset) getFlex(varid int, start, count, stride []int64, data any, mem
 		if err := d.f.SetView(0, view); err != nil {
 			return err
 		}
+		t0 := d.comm.Clock()
 		if collective {
 			err = d.f.ReadAtAll(0, ext)
 		} else {
@@ -356,6 +385,8 @@ func (d *Dataset) getFlex(varid int, start, count, stride []int64, data any, mem
 		if err != nil {
 			return err
 		}
+		d.recordAccess("get", collective, iostat.NCCollGets, iostat.NCIndepGets,
+			iostat.NCBytesGot, iostat.NCGetTimeNs, int64(len(ext)), t0)
 	}
 	if memsegs == nil {
 		linear, err := netcdf.SliceHead(data, req.NElems)

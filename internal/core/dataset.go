@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"pnetcdf/internal/cdf"
+	"pnetcdf/internal/iostat"
 	"pnetcdf/internal/mpi"
 	"pnetcdf/internal/mpiio"
 	"pnetcdf/internal/nctype"
@@ -60,6 +61,11 @@ type Dataset struct {
 
 	oldLayout *cdf.Header
 	pending   []pendingOp // nonblocking iput/iget queue
+
+	// st/tr are the rank's iostat collectors, cached from the
+	// communicator (nil = stats off).
+	st *iostat.Stats
+	tr *iostat.Trace
 }
 
 // Create collectively creates a new dataset, entering define mode. cmode may
@@ -93,6 +99,7 @@ func Create(comm *mpi.Comm, fsys *pfs.FS, path string, cmode int, info *mpi.Info
 		hAlign: info.GetInt("nc_header_align_size", 1),
 		vAlign: info.GetInt("nc_var_align_size", 1),
 	}
+	d.st, d.tr = comm.Proc().Stats(), comm.Proc().Trace()
 	return d, nil
 }
 
@@ -143,6 +150,8 @@ func Open(comm *mpi.Comm, fsys *pfs.FS, path string, omode int, info *mpi.Info) 
 		hAlign: info.GetInt("nc_header_align_size", 1),
 		vAlign: info.GetInt("nc_var_align_size", 1),
 	}
+	d.st, d.tr = comm.Proc().Stats(), comm.Proc().Trace()
+	d.st.Add(iostat.NCHeaderBcastBytes, int64(len(blob)))
 	if err := d.prefetch(info); err != nil {
 		return nil, err
 	}
@@ -391,9 +400,11 @@ func (d *Dataset) Redef() error {
 // writeHeaderCollective has the root write the header image; others wait.
 func (d *Dataset) writeHeaderCollective() error {
 	if d.comm.Rank() == 0 {
-		if err := d.f.WriteRaw(d.hdr.Encode(), 0); err != nil {
+		blob := d.hdr.Encode()
+		if err := d.f.WriteRaw(blob, 0); err != nil {
 			return err
 		}
+		d.st.Add(iostat.NCHeaderWriteBytes, int64(len(blob)))
 	}
 	d.comm.Barrier()
 	return nil
@@ -544,6 +555,7 @@ func (d *Dataset) syncNumRecs() error {
 	agreed := d.comm.AllreduceI64([]int64{d.hdr.NumRecs}, mpi.OpMax)[0]
 	d.hdr.NumRecs = agreed
 	d.numrecsDirty = false
+	d.st.Add(iostat.NCNumRecsSyncs, 1)
 	return d.writeNumRecs()
 }
 
@@ -560,6 +572,7 @@ func (d *Dataset) writeNumRecs() error {
 		n = 4
 	}
 	err := d.f.WriteRaw(full[4:4+n], 4)
+	d.st.Add(iostat.NCHeaderWriteBytes, int64(n))
 	d.comm.Barrier()
 	return err
 }

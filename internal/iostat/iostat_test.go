@@ -1,0 +1,163 @@
+package iostat
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilCollectorsAreNoOps(t *testing.T) {
+	var s *Stats
+	s.Add(PfsBytesRead, 10) // must not panic
+	s.AddTime(IOReadTimeNs, 1.5)
+	s.Reset()
+	if got := s.Get(PfsBytesRead); got != 0 {
+		t.Fatalf("nil Stats Get = %d", got)
+	}
+	var tr *Trace
+	tr.Record(Event{Layer: "pfs", Op: "read"})
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Fatal("nil Trace not empty")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s := New()
+	s.Add(IOBytesWritten, 100)
+	s.Add(IOBytesWritten, 23)
+	s.AddTime(IOWriteTimeNs, 0.5) // 5e8 ns
+	s.AddTime(IOWriteTimeNs, -1)  // ignored
+	s.AddTime(IOWriteTimeNs, 0)   // ignored
+	if got := s.Get(IOBytesWritten); got != 123 {
+		t.Fatalf("IOBytesWritten = %d", got)
+	}
+	if got := s.Get(IOWriteTimeNs); got != 5e8 {
+		t.Fatalf("IOWriteTimeNs = %d", got)
+	}
+	snap := s.Snapshot()
+	if snap[IOBytesWritten] != 123 {
+		t.Fatalf("snapshot = %d", snap[IOBytesWritten])
+	}
+	s.Reset()
+	if s.Get(IOBytesWritten) != 0 || s.Get(IOWriteTimeNs) != 0 {
+		t.Fatal("Reset did not zero")
+	}
+	// Snapshot taken before Reset is unaffected.
+	if snap[IOBytesWritten] != 123 {
+		t.Fatal("snapshot aliased live counters")
+	}
+}
+
+func TestStatsConcurrentAdd(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Add(MPIBytesSent, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Get(MPIBytesSent); got != 8000 {
+		t.Fatalf("concurrent adds lost updates: %d", got)
+	}
+}
+
+func TestCounterMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Counter(0); k < NumCounters; k++ {
+		name := k.String()
+		if name == "" || strings.ContainsAny(name, " \t") {
+			t.Fatalf("counter %d has bad name %q", k, name)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate counter name %q", name)
+		}
+		seen[name] = true
+		if k.Layer() == "" {
+			t.Fatalf("counter %s has no layer", name)
+		}
+		if k.IsTime() != strings.HasSuffix(name, "_time_ns") {
+			t.Fatalf("counter %s IsTime mismatch", name)
+		}
+	}
+}
+
+func TestTraceRingOverwrite(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 6; i++ {
+		tr.Record(Event{Layer: "pfs", Op: "write", Off: int64(i)})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("Dropped = %d", tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, e := range evs {
+		if e.Off != int64(i+2) { // oldest two (0,1) overwritten
+			t.Fatalf("event %d has Off %d", i, e.Off)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := NewTrace(16)
+	want := []Event{
+		{Layer: "pfs", Op: "write", Rank: 0, Off: 1024, Len: 4096, Extents: 2, Start: 0.5, End: 0.75},
+		{Layer: "mpiio", Op: "coll_read", Rank: 3, Off: 0, Len: 1 << 20, Start: 1, End: 2},
+		{Layer: "pnetcdf", Op: "put", Rank: 1, Off: -1, Len: 8},
+	}
+	for _, e := range want {
+		tr.Record(e)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round trip: %d events", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadJSONLBadLine(t *testing.T) {
+	in := strings.NewReader(`{"layer":"pfs","op":"read"}` + "\n" + "not json\n")
+	if _, err := ReadJSONL(in); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 error, got %v", err)
+	}
+}
+
+func TestWriteTableSelfCheck(t *testing.T) {
+	s := New()
+	// A consistent little run: 100 data bytes + 20 header bytes through
+	// mpiio, 6 bytes of sieve RMW amplification, all landing in pfs.
+	s.Add(NCBytesPut, 100)
+	s.Add(IOBytesWritten, 100)
+	s.Add(IORawBytesWritten, 20)
+	s.Add(IOSieveWriteAmpBytes, 6)
+	s.Add(PfsBytesWritten, 126)
+	sum := &Summary{Ranks: 1, Min: s.Snapshot(), Max: s.Snapshot(), Sum: s.Snapshot()}
+	var buf bytes.Buffer
+	WriteTable(&buf, sum)
+	out := buf.String()
+	if !strings.Contains(out, "self-check") {
+		t.Fatalf("no self-check in table:\n%s", out)
+	}
+	if !strings.Contains(out, "pfs") || !strings.Contains(out, "mpi-io") {
+		t.Fatalf("missing layers:\n%s", out)
+	}
+}

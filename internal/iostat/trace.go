@@ -1,0 +1,138 @@
+package iostat
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one traced I/O operation. Times are virtual seconds on the
+// issuing rank's clock; Extents is the request's discontiguous extent count
+// (0 when not meaningful for the op).
+type Event struct {
+	Layer   string  `json:"layer"` // "pfs", "mpiio", "pnetcdf"
+	Op      string  `json:"op"`    // e.g. "read", "coll_write", "put"
+	Rank    int     `json:"rank"`
+	Off     int64   `json:"off"` // first byte offset, -1 when not applicable
+	Len     int64   `json:"len"` // total bytes
+	Extents int     `json:"extents,omitempty"`
+	Start   float64 `json:"start"` // virtual seconds
+	End     float64 `json:"end"`
+}
+
+// Trace is a fixed-capacity ring buffer of events shared by all ranks of a
+// run. When full, the oldest events are overwritten and counted as dropped;
+// the buffer is allocated once, so steady-state recording allocates
+// nothing. A nil *Trace discards events, mirroring the nil-*Stats
+// convention.
+type Trace struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int   // next slot to write
+	total int64 // events ever recorded
+}
+
+// DefaultTraceCap bounds a trace to a few MB of memory.
+const DefaultTraceCap = 1 << 16
+
+// NewTrace returns a ring buffer holding up to capacity events
+// (DefaultTraceCap if capacity <= 0).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Trace{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends an event, overwriting the oldest when full. No-op on a nil
+// receiver.
+func (t *Trace) Record(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.next] = e
+		t.next = (t.next + 1) % cap(t.buf)
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Dropped returns how many events were overwritten.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - int64(len(t.buf))
+}
+
+// Events returns the buffered events oldest-first.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) == cap(t.buf) {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// WriteJSONL dumps the buffered events as JSON lines, oldest first.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range t.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSON-lines trace dump. Blank lines are skipped; a
+// malformed line is an error identifying its line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("iostat: trace line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}

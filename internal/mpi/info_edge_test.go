@@ -1,0 +1,65 @@
+package mpi
+
+import "testing"
+
+// Malformed and out-of-range hint values must fall back to the default —
+// hints are advisory, as in ROMIO, and a bad value must never change
+// behavior unpredictably.
+func TestInfoGetIntMalformed(t *testing.T) {
+	info := NewInfo().
+		Set("trailing", "12abc").
+		Set("empty", "").
+		Set("float", "1e3").
+		Set("hex", "0x10").
+		Set("spaces", " 42").
+		Set("overflow", "999999999999999999999999").
+		Set("negative", "-3").
+		Set("plus", "+7")
+	cases := []struct {
+		key  string
+		def  int64
+		want int64
+	}{
+		{"trailing", 5, 5},
+		{"empty", 5, 5},
+		{"float", 5, 5},
+		{"hex", 5, 5},
+		{"spaces", 5, 5},
+		{"overflow", 5, 5},
+		{"negative", 5, -3}, // parses; range policy is the caller's job
+		{"plus", 5, 7},
+		{"absent", 9, 9},
+	}
+	for _, c := range cases {
+		if got := info.GetInt(c.key, c.def); got != c.want {
+			t.Errorf("GetInt(%q) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestInfoGetBoolMalformed(t *testing.T) {
+	info := NewInfo().
+		Set("caps", "TRUE").
+		Set("maybe", "maybe").
+		Set("two", "2").
+		Set("empty", "").
+		Set("en", "enable").
+		Set("dis", "disable")
+	cases := []struct {
+		key       string
+		def, want bool
+	}{
+		{"caps", false, false}, // matching is exact, like ROMIO's strcmp
+		{"maybe", true, true},
+		{"two", false, false},
+		{"empty", true, true},
+		{"en", false, true},
+		{"dis", true, false},
+		{"absent", true, true},
+	}
+	for _, c := range cases {
+		if got := info.GetBool(c.key, c.def); got != c.want {
+			t.Errorf("GetBool(%q, %v) = %v, want %v", c.key, c.def, got, c.want)
+		}
+	}
+}

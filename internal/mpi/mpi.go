@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"pnetcdf/internal/iostat"
 )
 
 // AnySource matches a message from any rank, like MPI_ANY_SOURCE.
@@ -91,7 +93,28 @@ type Proc struct {
 	world *World
 	rank  int // world rank
 	clock float64
+
+	// stats and trace are the rank's iostat collectors; nil (the default)
+	// disables collection at zero cost. Harnesses install them right after
+	// Run hands out the world communicator, and every layer above reaches
+	// them through the communicator.
+	stats *iostat.Stats
+	trace *iostat.Trace
 }
+
+// SetStats installs (or, with nil, removes) the rank's statistics
+// collector.
+func (p *Proc) SetStats(s *iostat.Stats) { p.stats = s }
+
+// Stats returns the rank's statistics collector (nil when disabled).
+func (p *Proc) Stats() *iostat.Stats { return p.stats }
+
+// SetTrace installs the rank's event trace; one *iostat.Trace is normally
+// shared by all ranks of a run.
+func (p *Proc) SetTrace(t *iostat.Trace) { p.trace = t }
+
+// Trace returns the rank's event trace (nil when disabled).
+func (p *Proc) Trace() *iostat.Trace { return p.trace }
 
 // Clock returns the rank's current virtual time in seconds.
 func (p *Proc) Clock() float64 { return p.clock }
@@ -219,6 +242,8 @@ func (c *Comm) send(dst, tag int, ctx int64, data []byte) {
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
+	c.proc.stats.Add(iostat.MPIMsgsSent, 1)
+	c.proc.stats.Add(iostat.MPIBytesSent, int64(len(data)))
 	arrival := c.proc.clock + c.world.transferTime(len(data))
 	c.proc.clock += c.world.net.SendOverhead
 	box := c.world.boxes[c.group[dst]]
@@ -286,6 +311,7 @@ func (c *Comm) Sendrecv(dst, sendTag int, sendData []byte, src, recvTag int) ([]
 // collective traffic apart from user point-to-point traffic (sequence 0).
 func (c *Comm) nextOpCtx() int64 {
 	c.seq++
+	c.proc.stats.Add(iostat.MPICollectives, 1)
 	return c.ctx | (c.seq & 0x7FFFFFFF)
 }
 

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"pnetcdf/internal/iostat"
 	"pnetcdf/internal/mpi"
 	"pnetcdf/internal/pfs"
 )
@@ -54,8 +55,11 @@ func (f *File) WriteAtAll(off int64, buf []byte) error {
 	if err != nil {
 		return err
 	}
+	t0 := f.comm.Clock()
 	plan, ok := f.collectivePlan(segs)
 	if !ok {
+		f.recordAccess("coll_write", iostat.IOCollWriteCalls, iostat.IOBytesWritten,
+			iostat.IOWriteExtents, iostat.IOWriteTimeNs, segs, int64(len(buf)), t0)
 		return nil // nobody has data
 	}
 	myAgg := plan.aggIndex(f.comm.Rank())
@@ -73,7 +77,9 @@ func (f *File) WriteAtAll(off int64, buf []byte) error {
 			if len(reqs) == 0 {
 				continue
 			}
-			parts[plan.aggRank(a)] = encodeWriteMsg(reqs, buf)
+			msg := encodeWriteMsg(reqs, buf)
+			parts[plan.aggRank(a)] = msg
+			f.st.Add(iostat.IOExchangeBytes, int64(len(msg)))
 		}
 		msgs := sparseExchange(f.comm, parts, collTagBase+round)
 		round++
@@ -87,6 +93,9 @@ func (f *File) WriteAtAll(off int64, buf []byte) error {
 			}
 		}
 	}
+	f.st.Add(iostat.IOTwoPhaseRounds, plan.rounds)
+	f.recordAccess("coll_write", iostat.IOCollWriteCalls, iostat.IOBytesWritten,
+		iostat.IOWriteExtents, iostat.IOWriteTimeNs, segs, int64(len(buf)), t0)
 	return nil
 }
 
@@ -102,8 +111,11 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 	if err != nil {
 		return err
 	}
+	t0 := f.comm.Clock()
 	plan, ok := f.collectivePlan(segs)
 	if !ok {
+		f.recordAccess("coll_read", iostat.IOCollReadCalls, iostat.IOBytesRead,
+			iostat.IOReadExtents, iostat.IOReadTimeNs, segs, int64(len(buf)), t0)
 		return nil
 	}
 	myAgg := plan.aggIndex(f.comm.Rank())
@@ -125,6 +137,7 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 			ar := plan.aggRank(a)
 			parts[ar] = encodeReadMsg(reqs)
 			myReqs[ar] = reqs
+			f.st.Add(iostat.IOExchangeBytes, int64(len(parts[ar])))
 		}
 		msgs := sparseExchange(f.comm, parts, collTagBase+round)
 		round++
@@ -142,6 +155,7 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 						out = append(out, cov.extract(rq.off, rq.len)...)
 					}
 					replies[src] = out
+					f.st.Add(iostat.IOExchangeBytes, int64(len(out)))
 				}
 			}
 		}
@@ -157,6 +171,9 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 			}
 		}
 	}
+	f.st.Add(iostat.IOTwoPhaseRounds, plan.rounds)
+	f.recordAccess("coll_read", iostat.IOCollReadCalls, iostat.IOBytesRead,
+		iostat.IOReadExtents, iostat.IOReadTimeNs, segs, int64(len(buf)), t0)
 	return nil
 }
 
@@ -214,22 +231,30 @@ func (p collectivePlan) aggIndex(rank int) int {
 	return -1
 }
 
-// window returns aggregator a's byte range for round r. Interior domain
-// boundaries are aligned to absolute stripe positions (ROMIO's file-domain
-// alignment), so collective writes touch at most two partial stripe blocks
-// in total — the first and last of the aggregate range — avoiding the file
-// system's partial-block read-modify-write penalty.
+// boundary returns the file offset separating aggregator k-1's domain from
+// aggregator k's. Interior boundaries are aligned to absolute stripe
+// positions (ROMIO's file-domain alignment), so collective writes touch at
+// most two partial stripe blocks in total — the first and last of the
+// aggregate range — avoiding the file system's partial-block
+// read-modify-write penalty. Both neighbors compute their shared boundary
+// with this one function, so domains never overlap: an unaligned boundary
+// at or past gmax clamps to gmax for BOTH sides (aligning it down only on
+// one side would hand the tail stripe to two aggregators).
+func (p collectivePlan) boundary(k int) int64 {
+	if k <= 0 {
+		return p.gmin
+	}
+	b := p.gmin + int64(k)*p.domain
+	if b >= p.gmax {
+		return p.gmax
+	}
+	return b / p.stripe * p.stripe
+}
+
+// window returns aggregator a's byte range for round r.
 func (p collectivePlan) window(a int, r int64) (lo, hi int64) {
-	dLo := p.gmin + int64(a)*p.domain
-	dHi := dLo + p.domain
-	if a > 0 {
-		dLo = dLo / p.stripe * p.stripe
-	}
-	if dHi < p.gmax {
-		dHi = dHi / p.stripe * p.stripe
-	} else {
-		dHi = p.gmax
-	}
+	dLo := p.boundary(a)
+	dHi := p.boundary(a + 1)
 	lo = dLo + r*p.cbbuf
 	hi = min64(lo+p.cbbuf, dHi)
 	return lo, hi

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"pnetcdf/internal/iostat"
 	"pnetcdf/internal/mpi"
 	"pnetcdf/internal/mpitype"
 	"pnetcdf/internal/pfs"
@@ -94,6 +95,11 @@ type File struct {
 	info   *mpi.Info
 	closed bool
 
+	// st/tr are the rank's iostat collectors, cached from the
+	// communicator's Proc at open time (nil = stats off).
+	st *iostat.Stats
+	tr *iostat.Trace
+
 	// File view: absolute displacement plus a byte-unit filetype that tiles
 	// from there. A zero-size filetype means the identity view.
 	disp  int64
@@ -147,6 +153,8 @@ func Open(comm *mpi.Comm, fsys *pfs.FS, name string, amode int, info *mpi.Info) 
 		}
 	}
 	f := &File{comm: comm, fs: fsys, pf: pf, amode: amode, hints: resolveHints(comm, info), info: info.Clone()}
+	f.st, f.tr = comm.Proc().Stats(), comm.Proc().Trace()
+	pf.SetStats(f.st, f.tr, comm.Rank())
 	// Everyone leaves open together, with the truncation visible.
 	comm.Barrier()
 	return f, nil
@@ -254,6 +262,7 @@ func (f *File) ReadRaw(buf []byte, off int64) error {
 	}
 	t := f.pf.ReadAt(f.comm.Clock(), buf, off)
 	f.comm.Proc().SetClock(t)
+	f.st.Add(iostat.IORawBytesRead, int64(len(buf)))
 	return nil
 }
 
@@ -268,7 +277,30 @@ func (f *File) WriteRaw(buf []byte, off int64) error {
 	}
 	t := f.pf.WriteAt(f.comm.Clock(), buf, off)
 	f.comm.Proc().SetClock(t)
+	f.st.Add(iostat.IORawBytesWritten, int64(len(buf)))
 	return nil
+}
+
+// recordAccess accumulates one data-access call's counters and trace event.
+// start is the rank's clock when the call was entered; the clock has already
+// been advanced to completion.
+func (f *File) recordAccess(op string, calls, bytes, exts, timeNs iostat.Counter, segs []pfs.Segment, n int64, start float64) {
+	if f.st == nil && f.tr == nil {
+		return
+	}
+	end := f.comm.Clock()
+	f.st.Add(calls, 1)
+	f.st.Add(bytes, n)
+	f.st.Add(exts, int64(len(segs)))
+	f.st.AddTime(timeNs, end-start)
+	off := int64(-1)
+	if len(segs) > 0 {
+		off = segs[0].Off
+	}
+	f.tr.Record(iostat.Event{
+		Layer: "mpiio", Op: op, Rank: f.comm.Rank(),
+		Off: off, Len: n, Extents: len(segs), Start: start, End: end,
+	})
 }
 
 func min(a, b int) int {

@@ -1,0 +1,101 @@
+package mpiio
+
+import (
+	"testing"
+
+	"pnetcdf/internal/mpi"
+)
+
+// resolveHints must clamp or ignore out-of-range values: more aggregators
+// than ranks clamps to the communicator size, and non-positive or
+// sub-minimum buffer sizes keep the defaults.
+func TestResolveHintsClamping(t *testing.T) {
+	err := mpi.Run(4, mpi.DefaultNet(), func(c *mpi.Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		def := resolveHints(c, nil)
+		if def.CBNodes != c.Size() {
+			t.Errorf("default CBNodes = %d, want %d", def.CBNodes, c.Size())
+		}
+
+		h := resolveHints(c, mpi.NewInfo().Set("cb_nodes", "64"))
+		if h.CBNodes != c.Size() {
+			t.Errorf("cb_nodes=64 on %d ranks: CBNodes = %d, want clamp to %d",
+				c.Size(), h.CBNodes, c.Size())
+		}
+
+		h = resolveHints(c, mpi.NewInfo().Set("cb_nodes", "2"))
+		if h.CBNodes != 2 {
+			t.Errorf("cb_nodes=2: CBNodes = %d", h.CBNodes)
+		}
+
+		for _, bad := range []string{"0", "-4", "junk"} {
+			h = resolveHints(c, mpi.NewInfo().Set("cb_nodes", bad))
+			if h.CBNodes != def.CBNodes {
+				t.Errorf("cb_nodes=%q: CBNodes = %d, want default %d", bad, h.CBNodes, def.CBNodes)
+			}
+		}
+
+		for _, bad := range []string{"0", "-1", "4095", "junk"} {
+			h = resolveHints(c, mpi.NewInfo().
+				Set("cb_buffer_size", bad).
+				Set("ind_rd_buffer_size", bad).
+				Set("ind_wr_buffer_size", bad))
+			if h.CBBufferSize != def.CBBufferSize {
+				t.Errorf("cb_buffer_size=%q: %d, want default %d", bad, h.CBBufferSize, def.CBBufferSize)
+			}
+			if h.IndRdBufferSize != def.IndRdBufferSize || h.IndWrBufferSize != def.IndWrBufferSize {
+				t.Errorf("ind buffer size %q not ignored: rd=%d wr=%d", bad, h.IndRdBufferSize, h.IndWrBufferSize)
+			}
+		}
+
+		h = resolveHints(c, mpi.NewInfo().Set("cb_buffer_size", "4096"))
+		if h.CBBufferSize != 4096 {
+			t.Errorf("cb_buffer_size=4096: %d", h.CBBufferSize)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The file domains of a collective plan must partition [gmin, gmax)
+// exactly: no overlap (the same bytes written by two aggregators) and no
+// gap. Regression test for the unaligned-gmax case, where the last data
+// boundary used to clamp to gmax on one side but align down on the other,
+// handing the tail stripe to two aggregators.
+func TestCollectivePlanDomainsPartition(t *testing.T) {
+	cases := []collectivePlan{
+		// gmax unaligned, domain overshoots gmax for the last aggregators.
+		{gmin: 1492, gmax: 2643408, naggs: 8, domain: 393216, stripe: 262144, cbbuf: 16 << 20, commSize: 8},
+		// aligned everything
+		{gmin: 0, gmax: 1 << 20, naggs: 4, domain: 262144, stripe: 262144, cbbuf: 16 << 20, commSize: 4},
+		// single aggregator
+		{gmin: 7, gmax: 1000, naggs: 1, domain: 993, stripe: 256, cbbuf: 4096, commSize: 3},
+		// tiny range, many aggregators: most get empty windows
+		{gmin: 100, gmax: 300, naggs: 6, domain: 256, stripe: 256, cbbuf: 4096, commSize: 6},
+	}
+	for ci, p := range cases {
+		prevHi := p.gmin
+		covered := int64(0)
+		for a := 0; a < p.naggs; a++ {
+			lo, hi := p.boundary(a), p.boundary(a+1)
+			if lo != prevHi {
+				t.Errorf("case %d: aggregator %d starts at %d, previous ended at %d", ci, a, lo, prevHi)
+			}
+			if hi < lo || hi > p.gmax {
+				t.Errorf("case %d: aggregator %d domain [%d,%d) out of range", ci, a, lo, hi)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if prevHi != p.gmax {
+			t.Errorf("case %d: domains end at %d, want gmax %d", ci, prevHi, p.gmax)
+		}
+		if covered != p.gmax-p.gmin {
+			t.Errorf("case %d: domains cover %d bytes, want %d", ci, covered, p.gmax-p.gmin)
+		}
+	}
+}

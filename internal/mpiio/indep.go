@@ -1,6 +1,9 @@
 package mpiio
 
-import "pnetcdf/internal/pfs"
+import (
+	"pnetcdf/internal/iostat"
+	"pnetcdf/internal/pfs"
+)
 
 // ReadAt reads len(buf) view-data bytes starting at view offset off into
 // buf. Independent (no coordination with other ranks). Noncontiguous views
@@ -15,12 +18,15 @@ func (f *File) ReadAt(off int64, buf []byte) error {
 	if err != nil {
 		return err
 	}
+	t0 := f.comm.Clock()
 	if len(segs) <= 1 || !f.hints.DSRead {
-		t := f.pf.ReadV(f.comm.Clock(), segs, buf)
+		t := f.pf.ReadV(t0, segs, buf)
 		f.comm.Proc().SetClock(t)
-		return nil
+	} else {
+		f.sieveRead(segs, buf)
 	}
-	f.sieveRead(segs, buf)
+	f.recordAccess("indep_read", iostat.IOIndepReadCalls, iostat.IOBytesRead,
+		iostat.IOReadExtents, iostat.IOReadTimeNs, segs, int64(len(buf)), t0)
 	return nil
 }
 
@@ -44,11 +50,15 @@ func (f *File) sieveRead(segs []pfs.Segment, buf []byte) {
 		}
 		cover := make([]byte, hi-lo)
 		t = f.pf.ReadAt(t, cover, lo)
+		wanted := int64(0)
 		for k := i; k < j; k++ {
 			s := segs[k]
 			copy(buf[bufPos:bufPos+s.Len], cover[s.Off-lo:s.Off-lo+s.Len])
 			bufPos += s.Len
+			wanted += s.Len
 		}
+		f.st.Add(iostat.IOSieveReads, 1)
+		f.st.Add(iostat.IOSieveReadAmpBytes, (hi-lo)-wanted)
 		i = j
 	}
 	f.comm.Proc().SetClock(t)
@@ -69,12 +79,15 @@ func (f *File) WriteAt(off int64, buf []byte) error {
 	if err != nil {
 		return err
 	}
+	t0 := f.comm.Clock()
 	if len(segs) <= 1 || !f.hints.DSWrite {
-		t := f.pf.WriteV(f.comm.Clock(), segs, buf)
+		t := f.pf.WriteV(t0, segs, buf)
 		f.comm.Proc().SetClock(t)
-		return nil
+	} else {
+		f.sieveWrite(segs, buf)
 	}
-	f.sieveWrite(segs, buf)
+	f.recordAccess("indep_write", iostat.IOIndepWriteCalls, iostat.IOBytesWritten,
+		iostat.IOWriteExtents, iostat.IOWriteTimeNs, segs, int64(len(buf)), t0)
 	return nil
 }
 
@@ -102,13 +115,17 @@ func (f *File) sieveWrite(segs []pfs.Segment, buf []byte) {
 		f.pf.LockRMW()
 		cover := make([]byte, hi-lo)
 		t = f.pf.ReadAt(t, cover, lo)
+		wanted := int64(0)
 		for k := i; k < j; k++ {
 			s := segs[k]
 			copy(cover[s.Off-lo:s.Off-lo+s.Len], buf[bufPos:bufPos+s.Len])
 			bufPos += s.Len
+			wanted += s.Len
 		}
 		t = f.pf.WriteAt(t, cover, lo)
 		f.pf.UnlockRMW()
+		f.st.Add(iostat.IOSieveRMW, 1)
+		f.st.Add(iostat.IOSieveWriteAmpBytes, (hi-lo)-wanted)
 		i = j
 	}
 	f.comm.Proc().SetClock(t)

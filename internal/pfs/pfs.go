@@ -28,6 +28,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"pnetcdf/internal/iostat"
 )
 
 // Segment is one contiguous file extent of an I/O request.
@@ -147,6 +149,20 @@ func (fs *FS) PeakWriteBW() float64 { return float64(fs.cfg.NumServers) * fs.cfg
 type File struct {
 	fs *FS
 	fd *fileData
+
+	// stats/trace record this handle's I/O (nil = disabled). A handle is
+	// owned by one rank in the parallel libraries, so the per-handle
+	// collectors are the rank's collectors.
+	stats *iostat.Stats
+	trace *iostat.Trace
+	rank  int
+}
+
+// SetStats installs the handle's iostat collectors; rank labels trace
+// events (use -1 outside an MPI context). Nil collectors disable
+// recording.
+func (f *File) SetStats(s *iostat.Stats, t *iostat.Trace, rank int) {
+	f.stats, f.trace, f.rank = s, t, rank
 }
 
 // Create opens name, truncating it to zero length, and charges OpenCost.
@@ -321,7 +337,10 @@ func (f *File) WriteV(t float64, segs []Segment, src []byte) float64 {
 		f.fd.storeWrite(src[pos:pos+s.Len], s.Off, discard)
 		pos += s.Len
 	}
-	return f.fs.charge(t, segs, false)
+	done, extents := f.fs.charge(t, segs, false, f.stats)
+	f.record(iostat.PfsWriteCalls, iostat.PfsBytesWritten, iostat.PfsWriteExtents,
+		"write", t, done, segs, pos, extents)
+	return done
 }
 
 // ReadV reads the segments into consecutive bytes of dst as one request
@@ -332,7 +351,28 @@ func (f *File) ReadV(t float64, segs []Segment, dst []byte) float64 {
 		f.fd.storeRead(dst[pos:pos+s.Len], s.Off)
 		pos += s.Len
 	}
-	return f.fs.charge(t, segs, true)
+	done, extents := f.fs.charge(t, segs, true, f.stats)
+	f.record(iostat.PfsReadCalls, iostat.PfsBytesRead, iostat.PfsReadExtents,
+		"read", t, done, segs, pos, extents)
+	return done
+}
+
+// record accumulates one request batch's counters and trace event.
+func (f *File) record(calls, bytes, exts iostat.Counter, op string, start, end float64, segs []Segment, total int64, extents int) {
+	if f.stats == nil && f.trace == nil {
+		return
+	}
+	f.stats.Add(calls, 1)
+	f.stats.Add(bytes, total)
+	f.stats.Add(exts, int64(extents))
+	off := int64(-1)
+	if len(segs) > 0 {
+		off = segs[0].Off
+	}
+	f.trace.Record(iostat.Event{
+		Layer: "pfs", Op: op, Rank: f.rank,
+		Off: off, Len: total, Extents: extents, Start: start, End: end,
+	})
 }
 
 // Sync flushes; a fixed-cost barrier against all servers.
@@ -350,15 +390,18 @@ func (f *File) Sync(t float64) float64 {
 }
 
 // charge applies the cost model for one request batch issued at t and
-// returns the completion time.
-func (fs *FS) charge(t float64, segs []Segment, read bool) float64 {
+// returns the completion time plus the number of merged extents. When st is
+// non-nil it is credited with the seek/transfer time split and the
+// partial-block read-modify-write penalty the model charged.
+func (fs *FS) charge(t float64, segs []Segment, read bool, st *iostat.Stats) (float64, int) {
 	cfg := fs.cfg
 	var total int64
 	for _, s := range segs {
 		total += s.Len
 	}
+	merged := merge(segs)
 	if total == 0 {
-		return t + cfg.NetLatency
+		return t + cfg.NetLatency, len(merged)
 	}
 	// Per-server extent counts and byte totals; for writes, also the
 	// distinct partially-covered stripe blocks, which cost a
@@ -367,7 +410,7 @@ func (fs *FS) charge(t float64, segs []Segment, read bool) float64 {
 	extents := make([]int64, cfg.NumServers)
 	bytes := make([]int64, cfg.NumServers)
 	rmwBlocks := map[int64]bool{}
-	for _, s := range merge(segs) {
+	for _, s := range merged {
 		if s.Len == 0 {
 			continue
 		}
@@ -407,6 +450,23 @@ func (fs *FS) charge(t float64, segs []Segment, read bool) float64 {
 	if read {
 		bw = cfg.ReadBW
 	}
+	if st != nil {
+		var seek, xfer float64
+		for srv := 0; srv < cfg.NumServers; srv++ {
+			if bytes[srv] == 0 {
+				continue
+			}
+			seek += float64(extents[srv])*cfg.SeekTime + cfg.PerReqOverhead
+			xfer += float64(bytes[srv]) / bw
+		}
+		// Partial-block penalty: one seek plus one stripe read per block.
+		seek += float64(len(rmwBlocks)) * cfg.SeekTime
+		xfer += float64(len(rmwBlocks)) * float64(cfg.StripeSize) / cfg.ReadBW
+		st.AddTime(iostat.PfsSeekTimeNs, seek)
+		st.AddTime(iostat.PfsTransferTimeNs, xfer)
+		st.Add(iostat.PfsRMWBlocks, int64(len(rmwBlocks)))
+		st.Add(iostat.PfsRMWBytes, int64(len(rmwBlocks))*cfg.StripeSize)
+	}
 	// Pipeline the client link against the server queues in windows.
 	nWindows := (total + cfg.PipeChunk - 1) / cfg.PipeChunk
 	fs.srvMu.Lock()
@@ -434,7 +494,7 @@ func (fs *FS) charge(t float64, segs []Segment, read bool) float64 {
 			}
 		}
 	}
-	return complete + cfg.NetLatency
+	return complete + cfg.NetLatency, len(merged)
 }
 
 // merge coalesces sorted, adjacent or overlapping segments so the seek

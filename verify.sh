@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Repo verification: build, vet, race-test. Set BENCH=1 to also run the
+# FLASH I/O benchmark with statistics and emit results/BENCH_flashio.json
+# (slower; not part of the default gate).
+set -eu
+
+cd "$(dirname "$0")"
+
+go build ./...
+go vet ./...
+go test -race ./...
+
+if [ "${BENCH:-0}" = "1" ]; then
+    mkdir -p results
+    go run ./cmd/flashio-bench -block 8 -files checkpoint -procs 4,8 \
+        -stats -json results/BENCH_flashio.json
+fi
+
+echo "verify: OK"
