@@ -12,6 +12,8 @@
 //	flashio-bench -stats                # per-layer I/O statistics per run
 //	flashio-bench -trace out.jsonl      # dump the event trace (see nctrace)
 //	flashio-bench -json BENCH_flashio.json   # machine-readable results
+//	flashio-bench -fault-rate 0.01 -stats    # inject transient faults; see
+//	                                         # the retry counters for the cost
 //
 // Note on scale: the paper ran to 512 processes on real hardware. Every
 // simulated process here holds its real FLASH block data in this process's
@@ -36,14 +38,16 @@ import (
 const tool = "flashio-bench"
 
 var (
-	block    = flag.String("block", "both", "block size: 8, 16 or both")
-	procsStr = flag.String("procs", "", "comma-separated process counts")
-	bpp      = flag.Int("blocks-per-proc", 0, "blocks per process (default 80, the benchmark's value)")
-	files    = flag.String("files", "all", "checkpoint, plotfile, corners or all")
-	read     = flag.Bool("read", false, "measure checkpoint read-back instead (the paper's future-work comparison)")
-	stats    = flag.Bool("stats", false, "print per-layer I/O statistics after each PnetCDF run")
-	traceOut = flag.String("trace", "", "write a JSON-lines event trace of the PnetCDF runs to this file")
-	jsonOut  = flag.String("json", "", "write machine-readable results (implies -stats) to this file")
+	block     = flag.String("block", "both", "block size: 8, 16 or both")
+	procsStr  = flag.String("procs", "", "comma-separated process counts")
+	bpp       = flag.Int("blocks-per-proc", 0, "blocks per process (default 80, the benchmark's value)")
+	files     = flag.String("files", "all", "checkpoint, plotfile, corners or all")
+	read      = flag.Bool("read", false, "measure checkpoint read-back instead (the paper's future-work comparison)")
+	stats     = flag.Bool("stats", false, "print per-layer I/O statistics after each PnetCDF run")
+	traceOut  = flag.String("trace", "", "write a JSON-lines event trace of the PnetCDF runs to this file")
+	jsonOut   = flag.String("json", "", "write machine-readable results (implies -stats) to this file")
+	faultRate = flag.Float64("fault-rate", 0, "transient-fault probability per 64 KiB transferred (0 disables injection)")
+	faultSeed = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
 )
 
 // benchRecord is one PnetCDF data point in the -json output.
@@ -125,6 +129,7 @@ func main() {
 				Read:    *read,
 				Stats:   collect,
 				Trace:   trace,
+				Fault:   bench.FaultOptions{Rate: *faultRate, Seed: *faultSeed},
 			})
 			cmdutil.Fatal(tool, err)
 			bench.WriteFigure7(os.Stdout, fig)

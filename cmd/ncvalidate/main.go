@@ -32,6 +32,16 @@ func main() {
 		}
 		h, issues, err := cdf.CheckFile(img)
 		if err != nil {
+			// An unreadable in-place header may be a crash mid header
+			// commit; classify it by the commit journal at the tail.
+			if rec := cdf.RecoverJournal(img); rec != nil {
+				if rh, rerr := cdf.Decode(rec); rerr == nil {
+					fmt.Printf("%s: TORN HEADER, recoverable: commit journal holds a valid header (%d dims, %d vars, %d records); reopen writable to repair\n",
+						path, len(rh.Dims), len(rh.Vars), rh.NumRecs)
+					bad = true
+					continue
+				}
+			}
 			fmt.Printf("%s: INVALID: %v\n", path, err)
 			bad = true
 			continue

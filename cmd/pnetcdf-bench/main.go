@@ -11,6 +11,7 @@
 //	pnetcdf-bench -ablate        # the design-choice ablations
 //	pnetcdf-bench -stats         # per-layer I/O statistics per run
 //	pnetcdf-bench -trace t.jsonl # dump the event trace (see nctrace)
+//	pnetcdf-bench -fault-rate 0.01 -stats  # inject transient faults
 package main
 
 import (
@@ -27,12 +28,14 @@ import (
 const tool = "pnetcdf-bench"
 
 var (
-	size     = flag.String("size", "64mb", "dataset size: 64mb or 1gb")
-	op       = flag.String("op", "both", "operation: write, read or both")
-	procs    = flag.String("procs", "", "comma-separated process counts (default per paper)")
-	ablate   = flag.Bool("ablate", false, "run the design-choice ablations instead")
-	stats    = flag.Bool("stats", false, "print per-layer I/O statistics after each run")
-	traceOut = flag.String("trace", "", "write a JSON-lines event trace to this file")
+	size      = flag.String("size", "64mb", "dataset size: 64mb or 1gb")
+	op        = flag.String("op", "both", "operation: write, read or both")
+	procs     = flag.String("procs", "", "comma-separated process counts (default per paper)")
+	ablate    = flag.Bool("ablate", false, "run the design-choice ablations instead")
+	stats     = flag.Bool("stats", false, "print per-layer I/O statistics after each run")
+	traceOut  = flag.String("trace", "", "write a JSON-lines event trace to this file")
+	faultRate = flag.Float64("fault-rate", 0, "transient-fault probability per 64 KiB transferred (0 disables injection)")
+	faultSeed = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
 )
 
 func main() {
@@ -89,6 +92,7 @@ func main() {
 			Discard: discard,
 			Stats:   *stats,
 			Trace:   trace,
+			Fault:   bench.FaultOptions{Rate: *faultRate, Seed: *faultSeed},
 		})
 		cmdutil.Fatal(tool, err)
 		bench.WriteFigure6(os.Stdout, fig)

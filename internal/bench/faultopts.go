@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"pnetcdf/internal/fault"
+	"pnetcdf/internal/pfs"
+)
+
+// FaultOptions configures deterministic fault injection for a bench run:
+// transient read/write errors and short transfers at probability Rate per
+// 64 KiB of payload, plus the occasional latency spike. The retry machinery
+// absorbs the faults, so a faulted run must produce the same file as a
+// clean one — the bench knobs exist to measure what that recovery costs
+// (see the IORetries / PfsRetries / IOBackoffTime counters under -stats).
+type FaultOptions struct {
+	// Rate is the per-64KiB transient fault probability; 0 disables
+	// injection entirely.
+	Rate float64
+	// Seed selects the deterministic fault schedule (same seed, same
+	// faults, same virtual-time result).
+	Seed uint64
+}
+
+// apply installs an injector on fsys when Rate is nonzero.
+func (fo FaultOptions) apply(fsys *pfs.FS) {
+	if fo.Rate <= 0 {
+		return
+	}
+	fsys.SetFault(fault.New(fault.Config{
+		Seed:         fo.Seed,
+		ReadErrRate:  fo.Rate,
+		WriteErrRate: fo.Rate,
+		ShortRate:    fo.Rate,
+		LatencyRate:  fo.Rate,
+		LatencySpike: 2e-3,
+		FaultUnit:    64 << 10,
+	}))
+}

@@ -43,6 +43,8 @@ type Fig6Options struct {
 	Stats bool
 	// Trace, when non-nil, receives I/O events from every parallel run.
 	Trace *iostat.Trace
+	// Fault injects deterministic transient faults into the runs.
+	Fault FaultOptions
 }
 
 // Dims64MB is the 64 MB dataset (256^3 float32).
@@ -91,6 +93,7 @@ func runFig6Serial(opt Fig6Options) (float64, error) {
 	cfg := opt.Machine.FS
 	cfg.Discard = opt.Discard
 	fsys := pfs.New(cfg)
+	opt.Fault.apply(fsys)
 	pf, t := fsys.Create("serial.nc", 0)
 	sf := pfs.NewSerialFile(pf, t)
 	mode := nctype.Clobber
@@ -144,6 +147,7 @@ func runFig6Parallel(opt Fig6Options, part Partition, nprocs int) (float64, *ios
 	cfg := opt.Machine.FS
 	cfg.Discard = opt.Discard
 	fsys := pfs.New(cfg)
+	opt.Fault.apply(fsys)
 	nbytes := 4 * opt.Dims[0] * opt.Dims[1] * opt.Dims[2]
 	var makespan float64
 	var sum *iostat.Summary

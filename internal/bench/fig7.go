@@ -62,6 +62,9 @@ type Fig7Options struct {
 	Stats bool
 	// Trace, when non-nil, receives I/O events from the PnetCDF runs.
 	Trace *iostat.Trace
+	// Fault injects deterministic transient faults into the runs; the
+	// retry counters in Stats show the recovery cost.
+	Fault FaultOptions
 }
 
 // RunFigure7 measures one chart.
@@ -96,6 +99,7 @@ func runFlashOnce(opt Fig7Options, nprocs int, hdf5 bool) (flash.Report, *iostat
 	cfg := opt.Machine.FS
 	cfg.Discard = opt.Discard
 	fsys := pfs.New(cfg)
+	opt.Fault.apply(fsys)
 	var rep flash.Report
 	var sum *iostat.Summary
 	collect := opt.Stats && !hdf5

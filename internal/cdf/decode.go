@@ -38,6 +38,12 @@ func (r *headerReader) nonNeg() (int64, error) {
 		}
 		v := int64(binary.BigEndian.Uint64(r.buf[r.pos:]))
 		r.pos += 8
+		// A hostile CDF-5 count with the top bit set must be rejected
+		// here: downstream it sizes allocations (make([]int, nd)) and
+		// loop bounds, where a negative value panics or wraps.
+		if v < 0 {
+			return 0, fmt.Errorf("%w: negative count", nctype.ErrNotNC)
+		}
 		return v, nil
 	}
 	v, err := r.uint32()
@@ -125,6 +131,11 @@ func (r *headerReader) attrs() ([]Attr, error) {
 		}
 		if a.Nelems, err = r.nonNeg(); err != nil {
 			return nil, err
+		}
+		// Bound Nelems by the buffer before multiplying so the byte count
+		// cannot overflow, and the copy below cannot over-allocate.
+		if a.Nelems > int64(len(r.buf)) {
+			return nil, errTruncated
 		}
 		nbytes := a.Nelems * int64(a.Type.Size())
 		if nbytes < 0 || int64(r.pos)+nbytes > int64(len(r.buf)) {
@@ -225,6 +236,9 @@ func Decode(buf []byte) (*Header, error) {
 		}
 		if v.Begin, err = r.offset(); err != nil {
 			return nil, err
+		}
+		if v.Begin < 0 {
+			return nil, fmt.Errorf("%w: variable %q begin %d", nctype.ErrNotNC, v.Name, v.Begin)
 		}
 		h.Vars = append(h.Vars, v)
 	}

@@ -1,0 +1,77 @@
+package cdf
+
+import (
+	"testing"
+
+	"pnetcdf/internal/nctype"
+)
+
+// fuzzSeedHeader builds a representative header image for the fuzz corpus:
+// dims (incl. unlimited), global and per-var attributes of several types,
+// fixed and record variables.
+func fuzzSeedHeader(version int) []byte {
+	h := &Header{Version: version}
+	h.Dims = []Dim{{Name: "time", Len: 0}, {Name: "x", Len: 7}, {Name: "y", Len: 3}}
+	h.GAttrs = []Attr{
+		mkAttr("title", nctype.Char, []byte("fuzz seed")),
+		mkAttr("level", nctype.Int, []byte{0, 0, 0, 9}),
+	}
+	h.Vars = []Var{
+		{Name: "grid", Type: nctype.Double, DimIDs: []int{1, 2},
+			Attrs: []Attr{mkAttr("units", nctype.Char, []byte("m"))}},
+		{Name: "temp", Type: nctype.Float, DimIDs: []int{0, 1}},
+		{Name: "flag", Type: nctype.Byte, DimIDs: []int{}},
+	}
+	if err := h.ComputeLayout(1); err != nil {
+		panic(err)
+	}
+	h.NumRecs = 4
+	return h.Encode()
+}
+
+func mkAttr(name string, t nctype.Type, vals []byte) Attr {
+	return Attr{Name: name, Type: t, Nelems: int64(len(vals)) / int64(t.Size()), Values: vals}
+}
+
+// FuzzDecode: the header decoder must never panic or over-allocate on
+// hostile input — only return a header or an error. Seeds cover the three
+// format versions plus images truncated at every crash point a torn header
+// commit can produce (mid-magic, mid-numrecs, mid-body), and bit-flipped
+// counts that historically tripped make() with negative sizes.
+func FuzzDecode(f *testing.F) {
+	for _, v := range []int{1, 2, 5} {
+		img := fuzzSeedHeader(v)
+		f.Add(img)
+		// Crash-point truncations: a commit that died after writing only a
+		// prefix of the header region.
+		for _, cut := range []int{1, 3, 5, len(img) / 2, len(img) - 1} {
+			if cut < len(img) {
+				f.Add(append([]byte(nil), img[:cut]...)) //nolint:makezero
+			}
+		}
+		// Torn magic: commit step 2 zeroes the magic before the body lands.
+		torn := append([]byte(nil), img...)
+		copy(torn, []byte{0, 0, 0, 0})
+		f.Add(torn)
+		// Hostile counts: sign-bit NumRecs (CDF-5) / huge NumRecs (CDF-1/2).
+		evil := append([]byte(nil), img...)
+		for i := 4; i < 12 && i < len(evil); i++ {
+			evil[i] = 0xFF
+		}
+		f.Add(evil)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must survive its own invariants: re-encode
+		// and layout computation must not panic either.
+		if h.Validate() != nil {
+			t.Fatalf("Decode returned header failing its own Validate")
+		}
+		_ = h.Encode()
+		_ = h.FileSize()
+		_ = h.RecSize()
+	})
+}

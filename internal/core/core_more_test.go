@@ -205,6 +205,62 @@ func TestSyncPersistsNumRecsForLateOpeners(t *testing.T) {
 	})
 }
 
+// Regression for the stale-NumRecs window: a collective put where ranks
+// touch *different* records used to grow NumRecs only on the ranks whose
+// own access demanded it. The grower then entered the collective numrecs
+// rewrite alone — a mismatched collective, i.e. a hang — and a later
+// collective read on a non-grower rejected the record as out of range.
+// Collective entry points now allreduce (LastRecord, NumRecs) and adopt
+// the maximum before validating or persisting.
+func TestCollectiveAgreesOnDivergentRecordGrowth(t *testing.T) {
+	fsys := testFS()
+	runWorld(t, 2, func(c *mpi.Comm) error {
+		d, flux, _, err := createStandard(c, fsys, "stale.nc")
+		if err != nil {
+			return err
+		}
+		buf := make([]float64, 32)
+		for i := range buf {
+			buf[i] = 3.5
+		}
+		// Rank 0 writes record 6, rank 1 record 2: only rank 0's access
+		// grows the record count.
+		rec := int64(6)
+		if c.Rank() == 1 {
+			rec = 2
+		}
+		if err := d.PutVaraAll(flux, []int64{rec, 0, 0}, []int64{1, 4, 8}, buf); err != nil {
+			return fmt.Errorf("rank %d: divergent collective put: %w", c.Rank(), err)
+		}
+		if d.NumRecs() != 7 {
+			return fmt.Errorf("rank %d sees NumRecs=%d after divergent put, want 7", c.Rank(), d.NumRecs())
+		}
+		// Both ranks can now collectively read the grown record.
+		got := make([]float64, 32)
+		if err := d.GetVaraAll(flux, []int64{6, 0, 0}, []int64{1, 4, 8}, got); err != nil {
+			return fmt.Errorf("rank %d: collective read of grown record: %w", c.Rank(), err)
+		}
+		if got[0] != 3.5 {
+			return fmt.Errorf("rank %d reads %g, want 3.5", c.Rank(), got[0])
+		}
+		// A late opener sees the agreed count on disk after sync.
+		if err := d.Sync(); err != nil {
+			return err
+		}
+		r, err := Open(c, fsys, "stale.nc", nctype.NoWrite, nil)
+		if err != nil {
+			return err
+		}
+		if r.NumRecs() != 7 {
+			return fmt.Errorf("late opener sees NumRecs=%d, want 7", r.NumRecs())
+		}
+		if err := r.Close(); err != nil {
+			return err
+		}
+		return d.Close()
+	})
+}
+
 func TestRenameParallel(t *testing.T) {
 	fsys := testFS()
 	runWorld(t, 3, func(c *mpi.Comm) error {

@@ -297,10 +297,17 @@ func (d *Dataset) putFlex(varid int, start, count, stride []int64, data any, mem
 		return encErr
 	}
 	// Record growth: collective ops agree on the new record count up front;
-	// independent ops grow locally and reconcile at EndIndepData/Sync.
+	// independent ops grow locally and reconcile at EndIndepData/Sync. The
+	// agreement folds in NumRecs itself: if ranks entered with divergent
+	// counts (a peer grew records this rank has not seen), everyone adopts
+	// the maximum first, so all ranks make the same grow-or-not decision —
+	// writeNumRecs is collective, and a rank skipping it would hang the rest.
 	if collective {
-		last := d.comm.AllreduceI64([]int64{req.LastRecord}, mpi.OpMax)[0]
-		if last >= d.hdr.NumRecs {
+		agreed := d.comm.AllreduceI64([]int64{req.LastRecord, d.hdr.NumRecs}, mpi.OpMax)
+		if agreed[1] > d.hdr.NumRecs {
+			d.hdr.NumRecs = agreed[1]
+		}
+		if last := agreed[0]; last >= d.hdr.NumRecs {
 			d.hdr.NumRecs = last + 1
 			if err := d.writeNumRecs(); err != nil {
 				return err
@@ -351,10 +358,26 @@ func (d *Dataset) recordAccess(op string, collective bool, coll, indep, bytes, t
 	})
 }
 
+// agreeNumRecs adopts the communicator-wide maximum record count without
+// persisting it: the read-side reconciliation at a collective boundary.
+func (d *Dataset) agreeNumRecs() {
+	agreed := d.comm.AllreduceI64([]int64{d.hdr.NumRecs}, mpi.OpMax)[0]
+	if agreed > d.hdr.NumRecs {
+		d.hdr.NumRecs = agreed
+	}
+}
+
 // getFlex is the single read path.
 func (d *Dataset) getFlex(varid int, start, count, stride []int64, data any, memsegs []mpitype.Segment, memSize int64, collective bool) error {
 	if err := d.checkMode(collective); err != nil {
 		return err
+	}
+	// Collective boundary: agree on the record count BEFORE validating, so a
+	// rank that has not seen a peer's record growth neither rejects a valid
+	// request nor (worse) bails out of the collective while its peers
+	// proceed into the exchange — the stale-NumRecs window.
+	if collective {
+		d.agreeNumRecs()
 	}
 	v, err := d.varByID(varid)
 	if err != nil {

@@ -55,6 +55,11 @@ type Dataset struct {
 
 	numrecsDirty bool // independent-mode record growth pending reconciliation
 
+	// persistedNumRecs is the record count last written to (or read from)
+	// the file header; the root uses it to keep on-disk numrecs updates
+	// strictly monotonic. Meaningful on rank 0 only.
+	persistedNumRecs int64
+
 	// cache holds whole-variable external images loaded by the
 	// nc_prefetch_vars hint (see prefetch.go); nil when the hint is absent.
 	cache map[int][]byte
@@ -118,30 +123,43 @@ func Open(comm *mpi.Comm, fsys *pfs.FS, path string, omode int, info *mpi.Info) 
 	if err != nil {
 		return nil, err
 	}
-	// Root fetches the header (growing the probe if needed) and broadcasts.
+	// Root fetches the header (growing the probe if needed, falling back to
+	// the commit journal when the in-place header is torn) and broadcasts a
+	// status first, so a root-side read failure is a collective error rather
+	// than a hang.
 	var blob []byte
+	var recovered bool
+	var rootErr error
 	if comm.Rank() == 0 {
-		size, _ := f.Size()
-		probe := int64(64 << 10)
-		for {
-			if probe > size {
-				probe = size
-			}
-			buf := make([]byte, probe)
-			if err := f.ReadRaw(buf, 0); err != nil {
-				return nil, err
-			}
-			if _, derr := cdf.Decode(buf); derr == nil || probe >= size {
-				blob = buf
-				break
-			}
-			probe *= 4
-		}
+		blob, recovered, rootErr = readHeaderBlob(f)
 	}
+	status := int64(0)
+	if rootErr != nil {
+		status = 1
+	} else if recovered {
+		status = 2
+	}
+	status = mpi.DecodeI64s(comm.Bcast(0, mpi.EncodeI64s([]int64{status})))[0]
+	if status == 1 {
+		if rootErr != nil {
+			return nil, rootErr
+		}
+		return nil, fmt.Errorf("pnetcdf: open %s: header read failed on root", path)
+	}
+	recovered = status == 2
 	blob = comm.Bcast(0, blob)
 	hdr, err := cdf.Decode(blob)
 	if err != nil {
 		return nil, err
+	}
+	if recovered {
+		// The journaled (new) header may declare records that were lost with
+		// the crash; clamp to what the file actually holds.
+		if size, serr := f.Size(); serr == nil {
+			if max := hdr.MaxRecsForSize(size); hdr.NumRecs > max {
+				hdr.NumRecs = max
+			}
+		}
 	}
 	d := &Dataset{
 		comm: comm, fsys: fsys, f: f, path: path,
@@ -149,13 +167,81 @@ func Open(comm *mpi.Comm, fsys *pfs.FS, path string, omode int, info *mpi.Info) 
 		ro:     omode&nctype.Write == 0,
 		hAlign: info.GetInt("nc_header_align_size", 1),
 		vAlign: info.GetInt("nc_var_align_size", 1),
+
+		persistedNumRecs: hdr.NumRecs,
 	}
 	d.st, d.tr = comm.Proc().Stats(), comm.Proc().Trace()
 	d.st.Add(iostat.NCHeaderBcastBytes, int64(len(blob)))
+	if recovered {
+		d.st.Add(iostat.NCHeaderRecoveries, 1)
+		if !d.ro {
+			// Repair the torn in-place header from the journaled image.
+			if err := d.writeHeaderCollective(); err != nil {
+				return nil, err
+			}
+		}
+	}
 	if err := d.prefetch(info); err != nil {
 		return nil, err
 	}
 	return d, nil
+}
+
+// readHeaderBlob reads enough of the file to decode the header. When the
+// in-place header is torn (a crash during commit), it falls back to the
+// commit journal at the file's tail; recovered reports that fallback.
+func readHeaderBlob(f *mpiio.File) (blob []byte, recovered bool, err error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, false, err
+	}
+	probe := int64(64 << 10)
+	for {
+		if probe > size {
+			probe = size
+		}
+		buf := make([]byte, probe)
+		if err := f.ReadRaw(buf, 0); err != nil {
+			return nil, false, err
+		}
+		if _, derr := cdf.Decode(buf); derr == nil {
+			return buf, false, nil
+		}
+		if probe >= size {
+			if img := recoverJournal(f, size); img != nil {
+				return img, true, nil
+			}
+			return buf, false, nil // undecodable; the caller reports it
+		}
+		probe *= 4
+	}
+}
+
+// recoverJournal reads and verifies the commit journal terminating the
+// file, returning the journaled header image or nil.
+func recoverJournal(f *mpiio.File, size int64) []byte {
+	if size < cdf.JournalTrailerSize {
+		return nil
+	}
+	tr := make([]byte, cdf.JournalTrailerSize)
+	if err := f.ReadRaw(tr, size-cdf.JournalTrailerSize); err != nil {
+		return nil
+	}
+	n, crc, ok := cdf.ParseJournalTrailer(tr)
+	if !ok || n > size-cdf.JournalTrailerSize {
+		return nil
+	}
+	img := make([]byte, n)
+	if err := f.ReadRaw(img, size-cdf.JournalTrailerSize-n); err != nil {
+		return nil
+	}
+	if !cdf.VerifyJournalImage(img, crc) {
+		return nil
+	}
+	if _, err := cdf.Decode(img); err != nil {
+		return nil
+	}
+	return img
 }
 
 // Comm returns the dataset's communicator.
@@ -397,16 +483,68 @@ func (d *Dataset) Redef() error {
 	return nil
 }
 
-// writeHeaderCollective has the root write the header image; others wait.
+// writeHeaderCollective has the root commit the header image; the outcome
+// is agreed so every rank returns the same error and nobody runs ahead
+// against a header that never landed.
 func (d *Dataset) writeHeaderCollective() error {
+	var werr error
 	if d.comm.Rank() == 0 {
-		blob := d.hdr.Encode()
-		if err := d.f.WriteRaw(blob, 0); err != nil {
-			return err
-		}
-		d.st.Add(iostat.NCHeaderWriteBytes, int64(len(blob)))
+		werr = d.commitHeader()
 	}
-	d.comm.Barrier()
+	return d.comm.AgreeError(werr)
+}
+
+// commitHeader publishes the current header crash-consistently
+// (write-new / validate / publish):
+//
+//  1. journal the new image past EOF (a torn journal has no valid trailer
+//     and is ignored on recovery);
+//  2. invalidate the in-place magic;
+//  3. write the new header body;
+//  4. publish the magic last.
+//
+// A crash at any injected byte leaves either the old header intact or an
+// invalid in-place header plus a complete journal holding the new one —
+// Open and ncvalidate recover from the journal, so the file always
+// classifies as old or new, never a torn hybrid.
+func (d *Dataset) commitHeader() error {
+	blob := d.hdr.Encode()
+	size, err := d.f.Size()
+	if err != nil {
+		return err
+	}
+	// The journal goes past everything the file holds or declares: past the
+	// current size AND past the declared data end, so it never sits inside a
+	// region that an unwritten variable would later read as zero-fill.
+	jOff := size
+	if end := d.hdr.FileSize(); jOff < end {
+		jOff = end
+	}
+	if end := int64(len(blob)); jOff < end {
+		jOff = end
+	}
+	journal := cdf.EncodeJournal(blob)
+	if err := d.f.WriteRaw(journal, jOff); err != nil {
+		return err
+	}
+	if err := d.f.WriteRaw([]byte{0, 0, 0, 0}, 0); err != nil {
+		return err
+	}
+	if err := d.f.WriteRaw(blob[4:], 4); err != nil {
+		return err
+	}
+	if err := d.f.WriteRaw(blob[:4], 0); err != nil {
+		return err
+	}
+	// Publish complete: erase the journal so its bytes cannot masquerade as
+	// record data once the record section grows over this region. A crash
+	// during the erase is harmless — the new header is already live.
+	if err := d.f.WriteRaw(make([]byte, len(journal)), jOff); err != nil {
+		return err
+	}
+	d.st.Add(iostat.NCHeaderCommits, 1)
+	d.st.Add(iostat.NCHeaderWriteBytes, int64(len(blob)))
+	d.persistedNumRecs = d.hdr.NumRecs
 	return nil
 }
 
@@ -559,22 +697,28 @@ func (d *Dataset) syncNumRecs() error {
 	return d.writeNumRecs()
 }
 
-// writeNumRecs has the root rewrite just the numrecs field.
+// writeNumRecs has the root rewrite just the numrecs field, and the ranks
+// agree on the outcome. The on-disk value is updated monotonically: the
+// root skips the write when the agreed count has not grown past what is
+// already persisted, so a crash can tear at most a strictly-growing update
+// — and a torn (over-large) count is clamped by readers against the file
+// size on journal recovery.
 func (d *Dataset) writeNumRecs() error {
-	if d.ro || d.comm.Rank() != 0 {
-		d.comm.Barrier()
-		return nil
+	var werr error
+	if !d.ro && d.comm.Rank() == 0 && d.hdr.NumRecs > d.persistedNumRecs {
+		full := d.hdr.Encode()
+		// numrecs sits right after the 4-byte magic; 4 or 8 bytes by version.
+		n := 8
+		if d.hdr.Version != 5 {
+			n = 4
+		}
+		werr = d.f.WriteRaw(full[4:4+n], 4)
+		if werr == nil {
+			d.persistedNumRecs = d.hdr.NumRecs
+		}
+		d.st.Add(iostat.NCHeaderWriteBytes, int64(n))
 	}
-	full := d.hdr.Encode()
-	// numrecs sits right after the 4-byte magic; 4 or 8 bytes by version.
-	n := 8
-	if d.hdr.Version != 5 {
-		n = 4
-	}
-	err := d.f.WriteRaw(full[4:4+n], 4)
-	d.st.Add(iostat.NCHeaderWriteBytes, int64(n))
-	d.comm.Barrier()
-	return err
+	return d.comm.AgreeError(werr)
 }
 
 // Sync flushes everything collectively (ncmpi_sync).
@@ -588,27 +732,26 @@ func (d *Dataset) Sync() error {
 	return d.f.Sync()
 }
 
-// Close collectively closes the dataset (ncmpi_close).
+// Close collectively closes the dataset (ncmpi_close). All teardown steps
+// run even when an earlier one fails — a flush error is joined with, not
+// masked by, a later successful close (and vice versa) — and the handle is
+// marked closed regardless, so a second Close is an idempotent no-op
+// rather than a second flush attempt.
 func (d *Dataset) Close() error {
 	if d.closed {
-		return nctype.ErrClosed
+		return nil
 	}
 	if len(d.pending) > 0 {
 		return errors.New("pnetcdf: nonblocking requests pending at close; call WaitAll")
 	}
+	var errs []error
 	if d.define {
-		if err := d.EndDef(); err != nil {
-			return err
-		}
+		errs = append(errs, d.EndDef())
 	}
 	if !d.ro {
-		if err := d.syncNumRecs(); err != nil {
-			return err
-		}
+		errs = append(errs, d.syncNumRecs())
 	}
-	if err := d.f.Close(); err != nil {
-		return err
-	}
+	errs = append(errs, d.f.Close())
 	d.closed = true
-	return nil
+	return errors.Join(errs...)
 }

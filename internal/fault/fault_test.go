@@ -1,0 +1,236 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNilInjectorIsDisabled(t *testing.T) {
+	var in *Injector
+	out := in.Decide(3, OpWrite, 100, 50)
+	if out.Err != nil || out.N != 50 || out.Delay != 0 || out.TruncateTo != -1 {
+		t.Fatalf("nil injector injected: %+v", out)
+	}
+	in.ArmCrash(10, true)
+	if in.CrashArmed() {
+		t.Fatal("nil injector armed a crash")
+	}
+	if in.Injected() != 0 {
+		t.Fatal("nil injector counted injections")
+	}
+}
+
+// Two injectors with the same seed must produce byte-identical fault
+// schedules; a different seed must diverge somewhere.
+func TestScheduleIsDeterministicInSeed(t *testing.T) {
+	run := func(seed uint64) []Outcome {
+		in := New(Config{Seed: seed, ReadErrRate: 0.2, WriteErrRate: 0.2, ShortRate: 0.2, LatencyRate: 0.1, LatencySpike: 1e-3})
+		var outs []Outcome
+		for rank := 0; rank < 4; rank++ {
+			for i := int64(0); i < 64; i++ {
+				outs = append(outs, in.Decide(rank, OpRead, i*512, 512))
+				outs = append(outs, in.Decide(rank, OpWrite, i*512, 512))
+			}
+		}
+		return outs
+	}
+	a, b, c := run(7), run(7), run(8)
+	same := func(x, y []Outcome) bool {
+		for i := range x {
+			if !errors.Is(x[i].Err, y[i].Err) || x[i].N != y[i].N || x[i].Delay != y[i].Delay {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if same(a, c) {
+		t.Fatal("different seeds produced identical schedules (hash not mixing?)")
+	}
+}
+
+// A retry of the identical operation is a new occurrence and must get an
+// independent draw — so under a partial fault rate, retries clear.
+func TestOccurrenceAdvancesOnRetry(t *testing.T) {
+	in := New(Config{Seed: 1, WriteErrRate: 0.5})
+	failedOnce, clearedOnRetry := false, false
+	for i := int64(0); i < 200 && !clearedOnRetry; i++ {
+		if in.Decide(0, OpWrite, i*64, 64).Err == nil {
+			continue
+		}
+		failedOnce = true
+		for r := 0; r < 20; r++ {
+			if in.Decide(0, OpWrite, i*64, 64).Err == nil {
+				clearedOnRetry = true
+				break
+			}
+		}
+	}
+	if !failedOnce || !clearedOnRetry {
+		t.Fatalf("failedOnce=%v clearedOnRetry=%v — occurrence counter not advancing", failedOnce, clearedOnRetry)
+	}
+}
+
+func TestCrashPointIsOneShot(t *testing.T) {
+	in := New(Config{Seed: 1})
+	in.ArmCrash(100, true)
+	// A write strictly before the crash byte is untouched.
+	if out := in.Decide(0, OpWrite, 0, 100); out.Err != nil {
+		t.Fatalf("write below crash point failed: %v", out.Err)
+	}
+	out := in.Decide(0, OpWrite, 80, 64)
+	if !errors.Is(out.Err, ErrCrashed) {
+		t.Fatalf("overlapping write: %v", out.Err)
+	}
+	if out.N != 20 {
+		t.Fatalf("crash kept %d bytes, want 20 (up to byte 100 from offset 80)", out.N)
+	}
+	if out.TruncateTo != 100 {
+		t.Fatalf("TruncateTo = %d, want 100", out.TruncateTo)
+	}
+	if in.CrashArmed() {
+		t.Fatal("crash still armed after firing")
+	}
+	if out := in.Decide(0, OpWrite, 80, 64); out.Err != nil {
+		t.Fatalf("crash fired twice: %v", out.Err)
+	}
+	if IsTransient(ErrCrashed) {
+		t.Fatal("ErrCrashed classified transient")
+	}
+}
+
+func TestShortTransferNeverFullNeverZero(t *testing.T) {
+	in := New(Config{Seed: 3, ShortRate: 1})
+	for i := int64(0); i < 100; i++ {
+		out := in.Decide(1, OpRead, i*4096, 4096)
+		if out.Err != nil {
+			t.Fatalf("short-only config returned error: %v", out.Err)
+		}
+		if out.N < 1 || out.N >= 4096 {
+			t.Fatalf("short transfer N=%d, want in [1, 4096)", out.N)
+		}
+	}
+}
+
+func TestRetryPolicyBackoffBounded(t *testing.T) {
+	p := DefaultRetryPolicy()
+	prev := 0.0
+	for i := 0; i < p.MaxRetries+4; i++ {
+		b := p.Backoff(i)
+		if b < prev || b > p.Max {
+			t.Fatalf("backoff(%d)=%g not monotone within [0, %g]", i, b, p.Max)
+		}
+		prev = b
+	}
+}
+
+func TestRetryDoExhaustionIsPermanent(t *testing.T) {
+	p := RetryPolicy{MaxRetries: 3, Base: 1e-3, Max: 4e-3}
+	calls := 0
+	done, retries, backoff, err := p.Do(10, func(t float64) (float64, error) {
+		calls++
+		return t + 1e-4, ErrTransient
+	})
+	if calls != 4 || retries != 3 {
+		t.Fatalf("calls=%d retries=%d, want 4/3", calls, retries)
+	}
+	if !errors.Is(err, ErrRetriesExhausted) || IsTransient(err) {
+		t.Fatalf("exhaustion error %v must be permanent", err)
+	}
+	wantBackoff := 1e-3 + 2e-3 + 4e-3
+	if backoff != wantBackoff {
+		t.Fatalf("backoff=%g, want %g", backoff, wantBackoff)
+	}
+	if d := done - (10 + 4*1e-4 + wantBackoff); d < -1e-12 || d > 1e-12 {
+		t.Fatalf("done=%g accounts wrong virtual time", done)
+	}
+	// A permanent error must not be retried at all.
+	calls = 0
+	_, _, _, err = p.Do(0, func(t float64) (float64, error) { return t, ErrCrashed })
+	if calls := calls; calls > 1 {
+		t.Fatalf("permanent error retried %d times", calls)
+	}
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("permanent error rewritten: %v", err)
+	}
+}
+
+func TestRetryDoClearsTransient(t *testing.T) {
+	p := DefaultRetryPolicy()
+	n := 0
+	_, retries, _, err := p.Do(0, func(t float64) (float64, error) {
+		n++
+		if n < 3 {
+			return t, ErrTransient
+		}
+		return t, nil
+	})
+	if err != nil || retries != 2 {
+		t.Fatalf("err=%v retries=%d, want nil/2", err, retries)
+	}
+}
+
+// memStore is a minimal in-memory Store for FaultyStore tests.
+type memStore struct{ data []byte }
+
+func (m *memStore) grow(n int64) {
+	if n > int64(len(m.data)) {
+		m.data = append(m.data, make([]byte, n-int64(len(m.data)))...)
+	}
+}
+func (m *memStore) ReadAt(p []byte, off int64) (int, error) {
+	n := copy(p, m.data[min64(off, int64(len(m.data))):])
+	return n, nil
+}
+func (m *memStore) WriteAt(p []byte, off int64) (int, error) {
+	m.grow(off + int64(len(p)))
+	return copy(m.data[off:], p), nil
+}
+func (m *memStore) Size() (int64, error) { return int64(len(m.data)), nil }
+func (m *memStore) Truncate(n int64) error {
+	m.grow(n)
+	m.data = m.data[:n]
+	return nil
+}
+func (m *memStore) Sync() error  { return nil }
+func (m *memStore) Close() error { return nil }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestFaultyStoreShortWriteLandsPrefixOnly(t *testing.T) {
+	ms := &memStore{}
+	fs := NewFaultyStore(ms, New(Config{Seed: 5, ShortRate: 1}))
+	p := []byte("abcdefghij")
+	n, err := fs.WriteAt(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n >= len(p) || n < 1 {
+		t.Fatalf("short write n=%d", n)
+	}
+	if int64(len(ms.data)) != int64(n) {
+		t.Fatalf("store holds %d bytes, want the %d-byte prefix only", len(ms.data), n)
+	}
+}
+
+func TestFaultyStoreCrashTruncates(t *testing.T) {
+	ms := &memStore{}
+	ms.WriteAt(make([]byte, 200), 0)
+	in := New(Config{Seed: 5})
+	fs := NewFaultyStore(ms, in)
+	in.ArmCrash(50, true)
+	n, err := fs.WriteAt(make([]byte, 100), 0)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err=%v", err)
+	}
+	if n != 50 || int64(len(ms.data)) != 50 {
+		t.Fatalf("n=%d size=%d, want 50/50", n, len(ms.data))
+	}
+}

@@ -1,0 +1,81 @@
+package fault
+
+// Store is the random-access backend shape the serial netCDF library runs
+// on (structurally identical to netcdf.Store; declared here so the fault
+// layer does not depend on the library it tests).
+type Store interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Size() (int64, error)
+	Truncate(int64) error
+	Sync() error
+	Close() error
+}
+
+// FaultyStore wraps a Store, injecting the Injector's faults: transient
+// errors, short reads/writes (n < len(p) with nil error — exactly the
+// return buggy call sites ignore), and armed crash points that cut a write
+// at a chosen byte. The serial library and its tests use it; the parallel
+// stack injects at the pfs layer instead.
+type FaultyStore struct {
+	S  Store
+	In *Injector
+	// Rank labels the fault schedule (-1 for serial use).
+	Rank int
+}
+
+// NewFaultyStore wraps s with injector in.
+func NewFaultyStore(s Store, in *Injector) *FaultyStore {
+	return &FaultyStore{S: s, In: in, Rank: -1}
+}
+
+// ReadAt reads with fault injection. Injected transient errors return the
+// partial count the injector decided; injected short reads return n <
+// len(p) with a nil error.
+func (f *FaultyStore) ReadAt(p []byte, off int64) (int, error) {
+	out := f.In.Decide(f.Rank, OpRead, off, int64(len(p)))
+	if out.Err != nil {
+		n, _ := f.S.ReadAt(p[:out.N], off)
+		if int64(n) > out.N {
+			n = int(out.N)
+		}
+		return n, out.Err
+	}
+	if out.N < int64(len(p)) {
+		return f.S.ReadAt(p[:out.N], off)
+	}
+	return f.S.ReadAt(p, off)
+}
+
+// WriteAt writes with fault injection; only the injector-decided prefix
+// lands when a fault fires, and an armed crash point may also truncate the
+// file before failing.
+func (f *FaultyStore) WriteAt(p []byte, off int64) (int, error) {
+	out := f.In.Decide(f.Rank, OpWrite, off, int64(len(p)))
+	n := 0
+	if out.N > 0 {
+		var err error
+		n, err = f.S.WriteAt(p[:out.N], off)
+		if err != nil {
+			return n, err
+		}
+	}
+	if out.TruncateTo >= 0 {
+		if err := f.S.Truncate(out.TruncateTo); err != nil {
+			return n, err
+		}
+	}
+	return n, out.Err
+}
+
+// Size passes through.
+func (f *FaultyStore) Size() (int64, error) { return f.S.Size() }
+
+// Truncate passes through.
+func (f *FaultyStore) Truncate(n int64) error { return f.S.Truncate(n) }
+
+// Sync passes through.
+func (f *FaultyStore) Sync() error { return f.S.Sync() }
+
+// Close passes through.
+func (f *FaultyStore) Close() error { return f.S.Close() }

@@ -53,6 +53,15 @@ const (
 	// commit).
 	PfsRMWBlocks
 	PfsRMWBytes
+	// PfsFaultsInjected counts faults the injection layer delivered to this
+	// rank's pfs requests (transient errors, short transfers, latency
+	// spikes, crash points). PfsRetries counts request re-issues after
+	// transient errors, and PfsBackoffTimeNs the virtual time spent waiting
+	// between attempts (serial-adapter retries; the MPI-IO layer's retries
+	// are IORetries).
+	PfsFaultsInjected
+	PfsRetries
+	PfsBackoffTimeNs
 
 	// --- mpi: the message-passing runtime ---
 
@@ -103,6 +112,15 @@ const (
 	// MPI-IO data-access calls.
 	IOReadTimeNs
 	IOWriteTimeNs
+	// IORetries counts pfs requests the MPI-IO layer re-issued after a
+	// transient fault; IOBackoffTimeNs is the virtual time spent backing
+	// off between attempts.
+	IORetries
+	IOBackoffTimeNs
+	// IOCollAborts counts collective data-access calls that returned an
+	// agreed error after the per-round error agreement (every rank of the
+	// communicator counts the abort once).
+	IOCollAborts
 
 	// --- pnetcdf: the parallel netCDF core ---
 
@@ -121,6 +139,11 @@ const (
 	NCHeaderBcastBytes
 	// NCNumRecsSyncs counts record-count reconciliations.
 	NCNumRecsSyncs
+	// NCHeaderCommits counts crash-consistent header commit sequences
+	// (journal + publish); NCHeaderRecoveries counts opens that had to
+	// recover the header from the commit journal.
+	NCHeaderCommits
+	NCHeaderRecoveries
 	// NCPutTimeNs / NCGetTimeNs are virtual wall time inside put/get calls.
 	NCPutTimeNs
 	NCGetTimeNs
@@ -142,6 +165,9 @@ var counterNames = [NumCounters]string{
 	PfsTransferTimeNs:    "pfs_transfer_time_ns",
 	PfsRMWBlocks:         "pfs_rmw_blocks",
 	PfsRMWBytes:          "pfs_rmw_bytes",
+	PfsFaultsInjected:    "pfs_faults_injected",
+	PfsRetries:           "pfs_retries",
+	PfsBackoffTimeNs:     "pfs_backoff_time_ns",
 	MPIMsgsSent:          "mpi_msgs_sent",
 	MPIBytesSent:         "mpi_bytes_sent",
 	MPICollectives:       "mpi_collectives",
@@ -163,6 +189,9 @@ var counterNames = [NumCounters]string{
 	IOExchangeBytes:      "io_exchange_bytes",
 	IOReadTimeNs:         "io_read_time_ns",
 	IOWriteTimeNs:        "io_write_time_ns",
+	IORetries:            "io_retries",
+	IOBackoffTimeNs:      "io_backoff_time_ns",
+	IOCollAborts:         "io_coll_aborts",
 	NCCollPuts:           "nc_coll_puts",
 	NCIndepPuts:          "nc_indep_puts",
 	NCCollGets:           "nc_coll_gets",
@@ -172,6 +201,8 @@ var counterNames = [NumCounters]string{
 	NCHeaderWriteBytes:   "nc_header_write_bytes",
 	NCHeaderBcastBytes:   "nc_header_bcast_bytes",
 	NCNumRecsSyncs:       "nc_numrecs_syncs",
+	NCHeaderCommits:      "nc_header_commits",
+	NCHeaderRecoveries:   "nc_header_recoveries",
 	NCPutTimeNs:          "nc_put_time_ns",
 	NCGetTimeNs:          "nc_get_time_ns",
 }
@@ -188,11 +219,11 @@ func (c Counter) String() string {
 // "pnetcdf").
 func (c Counter) Layer() string {
 	switch {
-	case c <= PfsRMWBytes:
+	case c <= PfsBackoffTimeNs:
 		return "pfs"
 	case c <= MPICollectives:
 		return "mpi"
-	case c <= IOWriteTimeNs:
+	case c <= IOCollAborts:
 		return "mpiio"
 	default:
 		return "pnetcdf"
@@ -202,7 +233,8 @@ func (c Counter) Layer() string {
 // IsTime reports whether the counter holds virtual nanoseconds.
 func (c Counter) IsTime() bool {
 	switch c {
-	case PfsSeekTimeNs, PfsTransferTimeNs, IOReadTimeNs, IOWriteTimeNs, NCPutTimeNs, NCGetTimeNs:
+	case PfsSeekTimeNs, PfsTransferTimeNs, PfsBackoffTimeNs,
+		IOReadTimeNs, IOWriteTimeNs, IOBackoffTimeNs, NCPutTimeNs, NCGetTimeNs:
 		return true
 	}
 	return false

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 )
@@ -290,6 +291,32 @@ func (c *Comm) ExscanI64(vals []int64, op Op) []int64 {
 		c.send(c.rank+1, tagData, ctx, EncodeI64s(next))
 	}
 	return acc
+}
+
+// ErrPeerFailed is the error a rank receives from AgreeError when some
+// other member of the communicator reported a failure. Every rank of a
+// collective operation returns a non-nil error together: the failing
+// rank(s) see their own error, the rest see ErrPeerFailed.
+var ErrPeerFailed = errors.New("mpi: collective operation failed on a peer rank")
+
+// AgreeError is the collective error-agreement primitive: every member
+// contributes its local error status, and either all members return nil
+// (nobody failed) or all return a non-nil error — the local one where it
+// exists, ErrPeerFailed elsewhere. Calling it after each phase of a
+// multi-round collective guarantees no rank hangs waiting on a peer that
+// bailed, and that all ranks agree on whether the operation succeeded.
+func (c *Comm) AgreeError(err error) error {
+	flag := int64(0)
+	if err != nil {
+		flag = 1
+	}
+	if c.AllreduceI64([]int64{flag}, OpMax)[0] == 0 {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return ErrPeerFailed
 }
 
 // AgreeSame verifies that every member passed a byte-identical payload,

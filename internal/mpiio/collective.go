@@ -48,15 +48,17 @@ func (f *File) WriteAtAll(off int64, buf []byte) error {
 		return ErrReadOnly
 	}
 	if !f.hints.CBWrite {
-		// Collective buffering disabled: everyone writes independently.
-		return f.WriteAt(off, buf)
+		// Collective buffering disabled: everyone writes independently, but
+		// the error outcome is still agreed so all ranks report the same
+		// success or failure.
+		return f.agreeAbort(f.comm.AgreeError(f.WriteAt(off, buf)))
 	}
 	segs, err := f.viewSegments(off, int64(len(buf)))
-	if err != nil {
-		return err
-	}
 	t0 := f.comm.Clock()
-	plan, ok := f.collectivePlan(segs)
+	plan, ok, err := f.collectivePlan(segs, err)
+	if err != nil {
+		return f.agreeAbort(err)
+	}
 	if !ok {
 		f.recordAccess("coll_write", iostat.IOCollWriteCalls, iostat.IOBytesWritten,
 			iostat.IOWriteExtents, iostat.IOWriteTimeNs, segs, int64(len(buf)), t0)
@@ -83,14 +85,23 @@ func (f *File) WriteAtAll(off int64, buf []byte) error {
 		}
 		msgs := sparseExchange(f.comm, parts, collTagBase+round)
 		round++
-		// Phase 2: aggregators assemble and issue large writes.
+		// Phase 2: aggregators assemble and issue large writes (transient
+		// errors retried under the file's retry policy).
+		var roundErr error
 		if myAgg >= 0 {
 			entries := decodeWriteMsgs(msgs)
 			if len(entries) > 0 {
 				wsegs, data := assembleWrite(entries)
-				t := f.pf.WriteV(f.comm.Clock(), wsegs, data)
-				f.comm.Proc().SetClock(t)
+				roundErr = f.doPF(func(t float64) (float64, error) {
+					return f.pf.WriteV(t, wsegs, data)
+				})
 			}
+		}
+		// Collective error agreement: every rank learns whether any
+		// aggregator failed this round, so all ranks return the same error
+		// and nobody proceeds into the next round's exchange alone.
+		if err := f.comm.AgreeError(roundErr); err != nil {
+			return f.agreeAbort(err)
 		}
 	}
 	f.st.Add(iostat.IOTwoPhaseRounds, plan.rounds)
@@ -105,14 +116,14 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 		return ErrClosed
 	}
 	if !f.hints.CBRead {
-		return f.ReadAt(off, buf)
+		return f.agreeAbort(f.comm.AgreeError(f.ReadAt(off, buf)))
 	}
 	segs, err := f.viewSegments(off, int64(len(buf)))
-	if err != nil {
-		return err
-	}
 	t0 := f.comm.Clock()
-	plan, ok := f.collectivePlan(segs)
+	plan, ok, err := f.collectivePlan(segs, err)
+	if err != nil {
+		return f.agreeAbort(err)
+	}
 	if !ok {
 		f.recordAccess("coll_read", iostat.IOCollReadCalls, iostat.IOBytesRead,
 			iostat.IOReadExtents, iostat.IOReadTimeNs, segs, int64(len(buf)), t0)
@@ -143,21 +154,31 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 		round++
 		// Phase 2: aggregators read merged coverage and reply per source.
 		replies := make([][]byte, f.comm.Size())
+		var roundErr error
 		if myAgg >= 0 {
 			reqsBySrc := decodeReadMsgs(msgs)
 			if len(reqsBySrc) > 0 {
 				cov := newCoverage(reqsBySrc)
-				t := f.pf.ReadV(f.comm.Clock(), cov.segs, cov.data)
-				f.comm.Proc().SetClock(t)
-				for src, reqs := range reqsBySrc {
-					out := make([]byte, 0, 64)
-					for _, rq := range reqs {
-						out = append(out, cov.extract(rq.off, rq.len)...)
+				roundErr = f.doPF(func(t float64) (float64, error) {
+					return f.pf.ReadV(t, cov.segs, cov.data)
+				})
+				if roundErr == nil {
+					for src, reqs := range reqsBySrc {
+						out := make([]byte, 0, 64)
+						for _, rq := range reqs {
+							out = append(out, cov.extract(rq.off, rq.len)...)
+						}
+						replies[src] = out
+						f.st.Add(iostat.IOExchangeBytes, int64(len(out)))
 					}
-					replies[src] = out
-					f.st.Add(iostat.IOExchangeBytes, int64(len(out)))
 				}
 			}
+		}
+		// Collective error agreement BEFORE the reply exchange: a failed
+		// aggregator has no data to send back, so all ranks must learn of
+		// the failure here or the reply exchange would hang.
+		if err := f.comm.AgreeError(roundErr); err != nil {
+			return f.agreeAbort(err)
 		}
 		back := sparseExchange(f.comm, replies, collTagBase+round)
 		round++
@@ -188,21 +209,45 @@ type collectivePlan struct {
 	commSize   int
 }
 
+// agreeAbort records a collective abort and returns err unchanged; every
+// rank of a failed collective passes its agreed error through here.
+func (f *File) agreeAbort(err error) error {
+	if err != nil {
+		f.st.Add(iostat.IOCollAborts, 1)
+	}
+	return err
+}
+
 // collectivePlan agrees on the aggregate range and domain layout. Returns
 // ok=false when no rank has any data (all ranks agree on that too).
-func (f *File) collectivePlan(segs []pfs.Segment) (collectivePlan, bool) {
+// localErr folds each rank's view-flattening error status into the same
+// allreduce that agrees the range: a failed rank contributes an empty
+// range plus an error flag, so every rank learns of the failure without an
+// extra collective and nobody starts exchanging rounds with a rank that
+// already bailed.
+func (f *File) collectivePlan(segs []pfs.Segment, localErr error) (collectivePlan, bool, error) {
 	// Empty requests contribute (MaxInt64, 0); offsets are non-negative, so
 	// negating hi for the min-reduction stays in range.
 	lo, hi := int64(math.MaxInt64), int64(0)
-	if len(segs) > 0 {
+	if localErr == nil && len(segs) > 0 {
 		lo = segs[0].Off
 		last := segs[len(segs)-1]
 		hi = last.Off + last.Len
 	}
-	ext := f.comm.AllreduceI64([]int64{lo, -hi}, mpi.OpMin)
+	errFlag := int64(0)
+	if localErr != nil {
+		errFlag = -1
+	}
+	ext := f.comm.AllreduceI64([]int64{lo, -hi, errFlag}, mpi.OpMin)
 	gmin, gmax := ext[0], -ext[1]
+	if ext[2] < 0 {
+		if localErr != nil {
+			return collectivePlan{}, false, localErr
+		}
+		return collectivePlan{}, false, mpi.ErrPeerFailed
+	}
 	if gmax <= gmin {
-		return collectivePlan{}, false
+		return collectivePlan{}, false, nil
 	}
 	naggs := min(f.hints.CBNodes, f.comm.Size())
 	span := gmax - gmin
@@ -214,7 +259,7 @@ func (f *File) collectivePlan(segs []pfs.Segment) (collectivePlan, bool) {
 		gmin: gmin, gmax: gmax, naggs: naggs, domain: domain,
 		rounds: rounds, cbbuf: f.hints.CBBufferSize, stripe: stripe,
 		commSize: f.comm.Size(),
-	}, true
+	}, true, nil
 }
 
 // aggRank maps aggregator index a to a communicator rank, spreading

@@ -1,0 +1,200 @@
+package mpiio
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"pnetcdf/internal/fault"
+	"pnetcdf/internal/iostat"
+	"pnetcdf/internal/mpi"
+	"pnetcdf/internal/mpitype"
+	"pnetcdf/internal/pfs"
+)
+
+// TestIndependentIORetriesTransients: under a transient fault rate, every
+// independent read and write must still complete (retries clear injected
+// errors), the data must round-trip exactly, and the retry counters must
+// show the recovery work.
+func TestIndependentIORetriesTransients(t *testing.T) {
+	fsys := testFS()
+	fsys.SetFault(fault.New(fault.Config{
+		Seed: 11, ReadErrRate: 0.05, WriteErrRate: 0.05,
+		LatencyRate: 0.05, LatencySpike: 2e-3,
+	}))
+	var mu sync.Mutex
+	var retries int64
+	runWorld(t, 4, func(c *mpi.Comm) error {
+		c.Proc().SetStats(iostat.New())
+		f, err := Open(c, fsys, "retry", ModeRdWr|ModeCreate, nil)
+		if err != nil {
+			return err
+		}
+		want := bytes.Repeat([]byte{byte('A' + c.Rank())}, 1<<16)
+		base := int64(c.Rank()) * int64(len(want))
+		for i := 0; i < 8; i++ {
+			if err := f.WriteRaw(want[i*8192:(i+1)*8192], base+int64(i*8192)); err != nil {
+				return err
+			}
+		}
+		got := make([]byte, len(want))
+		if err := f.ReadRaw(got, base); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("rank %d: data corrupted under transient faults", c.Rank())
+		}
+		mu.Lock()
+		retries += c.Proc().Stats().Get(iostat.IORetries)
+		mu.Unlock()
+		return f.Close()
+	})
+	if fsys.Fault().Injected() == 0 {
+		t.Fatal("no faults injected; test proves nothing")
+	}
+	if retries == 0 {
+		t.Fatal("faults injected but IORetries is zero — retries not accounted")
+	}
+}
+
+// TestCollectiveWriteErrorAgreement: a permanent error on one aggregator
+// must surface as an error on EVERY rank of the collective — and the
+// collective must return (not hang) even though only some ranks saw the
+// failure locally.
+func TestCollectiveWriteErrorAgreement(t *testing.T) {
+	fsys := testFS()
+	in := fault.New(fault.Config{Seed: 3})
+	fsys.SetFault(in)
+	const n = 4
+	errs := make([]error, n)
+	aborts := make([]int64, n)
+	runWorld(t, n, func(c *mpi.Comm) error {
+		c.Proc().SetStats(iostat.New())
+		f, err := Open(c, fsys, "agree", ModeRdWr|ModeCreate, nil)
+		if err != nil {
+			return err
+		}
+		if err := f.SetView(int64(c.Rank())*(1<<20), mpitype.Contig(1<<20)); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			// Crash point in the middle of the aggregate range: exactly
+			// one aggregator's write hits it.
+			in.ArmCrash(2<<20, false)
+		}
+		c.Barrier()
+		errs[c.Rank()] = f.WriteAtAll(0, make([]byte, 1<<20))
+		aborts[c.Rank()] = c.Proc().Stats().Get(iostat.IOCollAborts)
+		return f.Close()
+	})
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d: collective write with crashed peer returned nil", r)
+		}
+		if !errors.Is(err, fault.ErrCrashed) && !errors.Is(err, mpi.ErrPeerFailed) {
+			t.Fatalf("rank %d: unexpected error %v", r, err)
+		}
+		if aborts[r] == 0 {
+			t.Fatalf("rank %d: IOCollAborts not counted", r)
+		}
+	}
+}
+
+// TestCollectiveReadErrorAgreement: same property for the read side, where
+// a failed aggregator must not leave peers blocked in the reply exchange.
+func TestCollectiveReadErrorAgreement(t *testing.T) {
+	fsys := testFS()
+	const n = 4
+	// Every read fails; retries exhaust into a permanent error on all
+	// aggregators. The collective must agree and return everywhere.
+	errs := make([]error, n)
+	runWorld(t, n, func(c *mpi.Comm) error {
+		f, err := Open(c, fsys, "ragree", ModeRdWr|ModeCreate, nil)
+		if err != nil {
+			return err
+		}
+		if err := f.WriteAtAll(int64(c.Rank())*4096, make([]byte, 4096)); err != nil {
+			return err
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			fsys.SetFault(fault.New(fault.Config{Seed: 5, ReadErrRate: 1}))
+		}
+		c.Barrier()
+		if err := f.SetView(int64(c.Rank())*4096, mpitype.Contig(4096)); err != nil {
+			return err
+		}
+		errs[c.Rank()] = f.ReadAtAll(0, make([]byte, 4096))
+		return f.Close()
+	})
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d: collective read with failing aggregators returned nil", r)
+		}
+		if !errors.Is(err, fault.ErrRetriesExhausted) && !errors.Is(err, mpi.ErrPeerFailed) {
+			t.Fatalf("rank %d: unexpected error %v", r, err)
+		}
+	}
+}
+
+// TestFaultedRunBitIdenticalToCleanRun: the strongest retry property — a
+// run under a transient fault rate must produce a byte-identical file to
+// the fault-free run, because every injected failure is retried to
+// completion and short transfers never silently drop bytes. (The rate is
+// set high enough that this small workload reliably draws faults; the
+// FLASH-scale 1% version lives in internal/integration.)
+func TestFaultedRunBitIdenticalToCleanRun(t *testing.T) {
+	write := func(fsys *pfs.FS) []byte {
+		t.Helper()
+		err := mpi.Run(4, mpi.DefaultNet(), func(c *mpi.Comm) error {
+			f, err := Open(c, fsys, "img", ModeRdWr|ModeCreate, nil)
+			if err != nil {
+				return err
+			}
+			v, err := mpitype.Vector(64, 512, 4*512, mpitype.Contig(1))
+			if err != nil {
+				return err
+			}
+			v, err = mpitype.Resized(v, 4*64*512)
+			if err != nil {
+				return err
+			}
+			if err := f.SetView(int64(c.Rank())*512, v); err != nil {
+				return err
+			}
+			data := make([]byte, 64*512)
+			for i := range data {
+				data[i] = byte(i*31 + c.Rank()*7)
+			}
+			if err := f.WriteAtAll(0, data); err != nil {
+				return err
+			}
+			return f.Close()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, _, err := fsys.Open("img", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := make([]byte, pf.Size())
+		sf := pfs.NewSerialFile(pf, 0)
+		if _, err := sf.ReadAt(img, 0); err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}
+	clean := write(pfs.New(pfs.DefaultConfig()))
+	faulty := pfs.New(pfs.DefaultConfig())
+	in := fault.New(fault.Config{Seed: 99, ReadErrRate: 0.25, WriteErrRate: 0.25})
+	faulty.SetFault(in)
+	injected := write(faulty)
+	if in.Injected() == 0 {
+		t.Fatal("no faults injected; test proves nothing")
+	}
+	if !bytes.Equal(clean, injected) {
+		t.Fatal("faulted run produced different bytes than clean run")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"pnetcdf/internal/fault"
 	"pnetcdf/internal/iostat"
 	"pnetcdf/internal/mpi"
 	"pnetcdf/internal/mpitype"
@@ -100,6 +101,10 @@ type File struct {
 	st *iostat.Stats
 	tr *iostat.Trace
 
+	// retry is the transient-error retry schedule applied to every pfs
+	// access this handle issues (see doPF).
+	retry fault.RetryPolicy
+
 	// File view: absolute displacement plus a byte-unit filetype that tiles
 	// from there. A zero-size filetype means the identity view.
 	disp  int64
@@ -152,7 +157,8 @@ func Open(comm *mpi.Comm, fsys *pfs.FS, name string, amode int, info *mpi.Info) 
 			pf.Truncate(0)
 		}
 	}
-	f := &File{comm: comm, fs: fsys, pf: pf, amode: amode, hints: resolveHints(comm, info), info: info.Clone()}
+	f := &File{comm: comm, fs: fsys, pf: pf, amode: amode, hints: resolveHints(comm, info), info: info.Clone(),
+		retry: fault.DefaultRetryPolicy()}
 	f.st, f.tr = comm.Proc().Stats(), comm.Proc().Trace()
 	pf.SetStats(f.st, f.tr, comm.Rank())
 	// Everyone leaves open together, with the truncation visible.
@@ -254,14 +260,31 @@ func (f *File) Close() error {
 	return nil
 }
 
+// doPF issues one pfs operation from the rank's current clock under the
+// transient-retry policy, advancing the clock through attempts and backoff
+// waits and recording retry effort in iostat. Errors still present after
+// the budget (and permanent ones immediately) propagate to the caller.
+func (f *File) doPF(op func(t float64) (float64, error)) error {
+	done, retries, backoff, err := f.retry.Do(f.comm.Clock(), op)
+	f.comm.Proc().SetClock(done)
+	if retries > 0 {
+		f.st.Add(iostat.IORetries, int64(retries))
+		f.st.AddTime(iostat.IOBackoffTimeNs, backoff)
+	}
+	return err
+}
+
 // ReadRaw reads bytes at an absolute offset, bypassing the view. The header
 // paths of the libraries above use it. Independent.
 func (f *File) ReadRaw(buf []byte, off int64) error {
 	if f.closed {
 		return ErrClosed
 	}
-	t := f.pf.ReadAt(f.comm.Clock(), buf, off)
-	f.comm.Proc().SetClock(t)
+	if err := f.doPF(func(t float64) (float64, error) {
+		return f.pf.ReadAt(t, buf, off)
+	}); err != nil {
+		return err
+	}
 	f.st.Add(iostat.IORawBytesRead, int64(len(buf)))
 	return nil
 }
@@ -275,8 +298,11 @@ func (f *File) WriteRaw(buf []byte, off int64) error {
 	if f.amode&ModeRdOnly != 0 {
 		return ErrReadOnly
 	}
-	t := f.pf.WriteAt(f.comm.Clock(), buf, off)
-	f.comm.Proc().SetClock(t)
+	if err := f.doPF(func(t float64) (float64, error) {
+		return f.pf.WriteAt(t, buf, off)
+	}); err != nil {
+		return err
+	}
 	f.st.Add(iostat.IORawBytesWritten, int64(len(buf)))
 	return nil
 }

@@ -9,7 +9,8 @@ import (
 // buf. Independent (no coordination with other ranks). Noncontiguous views
 // use data sieving when enabled: instead of one small read per hole-separated
 // piece, whole covering windows are read once and the wanted bytes copied
-// out — ROMIO's romio_ds_read strategy.
+// out — ROMIO's romio_ds_read strategy. Transient storage errors are retried
+// under the file's retry policy; errors that remain are returned.
 func (f *File) ReadAt(off int64, buf []byte) error {
 	if f.closed {
 		return ErrClosed
@@ -20,10 +21,13 @@ func (f *File) ReadAt(off int64, buf []byte) error {
 	}
 	t0 := f.comm.Clock()
 	if len(segs) <= 1 || !f.hints.DSRead {
-		t := f.pf.ReadV(t0, segs, buf)
-		f.comm.Proc().SetClock(t)
-	} else {
-		f.sieveRead(segs, buf)
+		if err := f.doPF(func(t float64) (float64, error) {
+			return f.pf.ReadV(t, segs, buf)
+		}); err != nil {
+			return err
+		}
+	} else if err := f.sieveRead(segs, buf); err != nil {
+		return err
 	}
 	f.recordAccess("indep_read", iostat.IOIndepReadCalls, iostat.IOBytesRead,
 		iostat.IOReadExtents, iostat.IOReadTimeNs, segs, int64(len(buf)), t0)
@@ -33,8 +37,7 @@ func (f *File) ReadAt(off int64, buf []byte) error {
 // sieveRead processes the segment list in covering windows of at most
 // IndRdBufferSize bytes: one contiguous read per window, then per-segment
 // copies.
-func (f *File) sieveRead(segs []pfs.Segment, buf []byte) {
-	t := f.comm.Clock()
+func (f *File) sieveRead(segs []pfs.Segment, buf []byte) error {
 	win := f.hints.IndRdBufferSize
 	bufPos := int64(0)
 	i := 0
@@ -49,7 +52,11 @@ func (f *File) sieveRead(segs []pfs.Segment, buf []byte) {
 			j++
 		}
 		cover := make([]byte, hi-lo)
-		t = f.pf.ReadAt(t, cover, lo)
+		if err := f.doPF(func(t float64) (float64, error) {
+			return f.pf.ReadAt(t, cover, lo)
+		}); err != nil {
+			return err
+		}
 		wanted := int64(0)
 		for k := i; k < j; k++ {
 			s := segs[k]
@@ -61,7 +68,7 @@ func (f *File) sieveRead(segs []pfs.Segment, buf []byte) {
 		f.st.Add(iostat.IOSieveReadAmpBytes, (hi-lo)-wanted)
 		i = j
 	}
-	f.comm.Proc().SetClock(t)
+	return nil
 }
 
 // WriteAt writes len(buf) view-data bytes starting at view offset off.
@@ -81,18 +88,20 @@ func (f *File) WriteAt(off int64, buf []byte) error {
 	}
 	t0 := f.comm.Clock()
 	if len(segs) <= 1 || !f.hints.DSWrite {
-		t := f.pf.WriteV(t0, segs, buf)
-		f.comm.Proc().SetClock(t)
-	} else {
-		f.sieveWrite(segs, buf)
+		if err := f.doPF(func(t float64) (float64, error) {
+			return f.pf.WriteV(t, segs, buf)
+		}); err != nil {
+			return err
+		}
+	} else if err := f.sieveWrite(segs, buf); err != nil {
+		return err
 	}
 	f.recordAccess("indep_write", iostat.IOIndepWriteCalls, iostat.IOBytesWritten,
 		iostat.IOWriteExtents, iostat.IOWriteTimeNs, segs, int64(len(buf)), t0)
 	return nil
 }
 
-func (f *File) sieveWrite(segs []pfs.Segment, buf []byte) {
-	t := f.comm.Clock()
+func (f *File) sieveWrite(segs []pfs.Segment, buf []byte) error {
 	win := f.hints.IndWrBufferSize
 	bufPos := int64(0)
 	i := 0
@@ -107,14 +116,23 @@ func (f *File) sieveWrite(segs []pfs.Segment, buf []byte) {
 		// Fully covered single segment: plain write, no RMW needed.
 		if j == i+1 {
 			s := segs[i]
-			t = f.pf.WriteAt(t, buf[bufPos:bufPos+s.Len], s.Off)
+			if err := f.doPF(func(t float64) (float64, error) {
+				return f.pf.WriteAt(t, buf[bufPos:bufPos+s.Len], s.Off)
+			}); err != nil {
+				return err
+			}
 			bufPos += s.Len
 			i = j
 			continue
 		}
 		f.pf.LockRMW()
 		cover := make([]byte, hi-lo)
-		t = f.pf.ReadAt(t, cover, lo)
+		if err := f.doPF(func(t float64) (float64, error) {
+			return f.pf.ReadAt(t, cover, lo)
+		}); err != nil {
+			f.pf.UnlockRMW()
+			return err
+		}
 		wanted := int64(0)
 		for k := i; k < j; k++ {
 			s := segs[k]
@@ -122,11 +140,16 @@ func (f *File) sieveWrite(segs []pfs.Segment, buf []byte) {
 			bufPos += s.Len
 			wanted += s.Len
 		}
-		t = f.pf.WriteAt(t, cover, lo)
+		if err := f.doPF(func(t float64) (float64, error) {
+			return f.pf.WriteAt(t, cover, lo)
+		}); err != nil {
+			f.pf.UnlockRMW()
+			return err
+		}
 		f.pf.UnlockRMW()
 		f.st.Add(iostat.IOSieveRMW, 1)
 		f.st.Add(iostat.IOSieveWriteAmpBytes, (hi-lo)-wanted)
 		i = j
 	}
-	f.comm.Proc().SetClock(t)
+	return nil
 }

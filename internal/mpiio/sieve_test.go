@@ -177,7 +177,10 @@ func TestStripeAlignedDomains(t *testing.T) {
 		if err := f.SetView(12345+int64(c.Rank())*(1<<20), mpitype.Contig(1<<20)); err != nil {
 			return err
 		}
-		plan, ok := f.collectivePlan(mustView(f, 1<<20))
+		plan, ok, err := f.collectivePlan(mustView(f, 1<<20), nil)
+		if err != nil {
+			return err
+		}
 		if !ok {
 			return fmt.Errorf("no plan")
 		}

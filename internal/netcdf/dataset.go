@@ -1,6 +1,7 @@
 package netcdf
 
 import (
+	"errors"
 	"fmt"
 
 	"pnetcdf/internal/cdf"
@@ -92,15 +93,18 @@ func Open(store Store, mode int, opts ...Option) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Read a generous prefix, growing if the header is larger.
+	// Read a generous prefix, growing if the header is larger. When the
+	// in-place header is torn (a crash during a header commit), fall back
+	// to the commit journal at the file's tail.
 	probe := int64(64 << 10)
+	recovered := false
 	var hdr *cdf.Header
 	for {
 		if probe > size {
 			probe = size
 		}
 		buf := make([]byte, probe)
-		if _, err := store.ReadAt(buf, 0); err != nil {
+		if err := readFull(store, buf, 0); err != nil {
 			return nil, err
 		}
 		hdr, err = cdf.Decode(buf)
@@ -108,9 +112,22 @@ func Open(store Store, mode int, opts ...Option) (*Dataset, error) {
 			break
 		}
 		if probe >= size {
+			if img := recoverStoreJournal(store, size); img != nil {
+				if h2, derr := cdf.Decode(img); derr == nil {
+					hdr, recovered = h2, true
+					break
+				}
+			}
 			return nil, err
 		}
 		probe *= 4
+	}
+	if recovered {
+		// The journaled (new) header may declare records lost with the
+		// crash; clamp to what the file actually holds.
+		if max := hdr.MaxRecsForSize(size); hdr.NumRecs > max {
+			hdr.NumRecs = max
+		}
 	}
 	d := &Dataset{
 		store:  store,
@@ -124,7 +141,37 @@ func Open(store Store, mode int, opts ...Option) (*Dataset, error) {
 	if d.cache == nil {
 		d.cache = newPageCache(store, 32<<10, 128)
 	}
+	if recovered && !d.ro {
+		// Repair the torn in-place header from the journaled image.
+		if err := d.writeHeader(); err != nil {
+			return nil, err
+		}
+	}
 	return d, nil
+}
+
+// recoverStoreJournal reads and verifies the commit journal terminating
+// the store, returning the journaled header image or nil.
+func recoverStoreJournal(store Store, size int64) []byte {
+	if size < cdf.JournalTrailerSize {
+		return nil
+	}
+	tr := make([]byte, cdf.JournalTrailerSize)
+	if err := readFull(store, tr, size-cdf.JournalTrailerSize); err != nil {
+		return nil
+	}
+	n, crc, ok := cdf.ParseJournalTrailer(tr)
+	if !ok || n > size-cdf.JournalTrailerSize {
+		return nil
+	}
+	img := make([]byte, n)
+	if err := readFull(store, img, size-cdf.JournalTrailerSize-n); err != nil {
+		return nil
+	}
+	if !cdf.VerifyJournalImage(img, crc) {
+		return nil
+	}
+	return img
 }
 
 // Header exposes the in-memory header (read-only use: inquiry, dumps).
@@ -423,12 +470,48 @@ func (d *Dataset) Redef() error {
 	return nil
 }
 
-// writeHeader serializes the header at offset 0.
+// writeHeader publishes the header crash-consistently: journal the new
+// image past the declared data end, invalidate the in-place magic, write
+// the body, publish the magic last, then erase the journal. The sequence
+// bypasses the write-back cache — commit ordering through an LRU cache is
+// undefined — and drops the cache's stale view of the touched ranges
+// first. A crash at any byte leaves the old header intact or a journal to
+// recover the new one from (see internal/cdf/commit.go).
 func (d *Dataset) writeHeader() error {
-	if err := d.cache.WriteAt(d.hdr.Encode(), 0); err != nil {
+	blob := d.hdr.Encode()
+	size, err := d.store.Size()
+	if err != nil {
 		return err
 	}
-	return nil
+	jOff := size
+	if end := d.hdr.FileSize(); jOff < end {
+		jOff = end
+	}
+	if end := int64(len(blob)); jOff < end {
+		jOff = end
+	}
+	journal := cdf.EncodeJournal(blob)
+	if err := d.cache.discardRange(0, int64(len(blob))); err != nil {
+		return err
+	}
+	if err := d.cache.discardRange(jOff, int64(len(journal))); err != nil {
+		return err
+	}
+	if err := writeFull(d.store, journal, jOff); err != nil {
+		return err
+	}
+	if err := writeFull(d.store, []byte{0, 0, 0, 0}, 0); err != nil {
+		return err
+	}
+	if err := writeFull(d.store, blob[4:], 4); err != nil {
+		return err
+	}
+	if err := writeFull(d.store, blob[:4], 0); err != nil {
+		return err
+	}
+	// Publish complete: erase the journal so its bytes cannot masquerade as
+	// record data once the record section grows over this region.
+	return writeFull(d.store, make([]byte, len(journal)), jOff)
 }
 
 // Sync flushes buffered data and the current record count to the store.
@@ -447,27 +530,30 @@ func (d *Dataset) Sync() error {
 	return d.store.Sync()
 }
 
-// Close synchronizes and closes the dataset.
+// Close synchronizes and closes the dataset. All teardown steps run even
+// when an earlier one fails — a flush error is joined with, not masked by,
+// a later successful close (and vice versa) — and the handle is marked
+// closed regardless, so a second Close is an idempotent no-op rather than
+// a second flush attempt.
 func (d *Dataset) Close() error {
 	if d.closed {
-		return nctype.ErrClosed
+		return nil
 	}
+	var errs []error
 	if d.define && !d.ro {
-		if err := d.EndDef(); err != nil {
-			return err
-		}
+		errs = append(errs, d.EndDef())
 	}
-	if err := d.Sync(); err != nil {
-		return err
-	}
+	errs = append(errs, d.Sync())
 	d.closed = true
-	return d.store.Close()
+	errs = append(errs, d.store.Close())
+	return errors.Join(errs...)
 }
 
-// Abort closes without saving pending define-mode changes.
+// Abort closes without saving pending define-mode changes (buffered data
+// is dropped, not flushed). Idempotent after Close or a prior Abort.
 func (d *Dataset) Abort() error {
 	if d.closed {
-		return nctype.ErrClosed
+		return nil
 	}
 	d.closed = true
 	return d.store.Close()

@@ -10,6 +10,7 @@ package netcdf
 import (
 	"container/list"
 	"errors"
+	"io"
 	"os"
 )
 
@@ -28,15 +29,18 @@ type Store interface {
 // OSStore adapts an *os.File to Store.
 type OSStore struct{ F *os.File }
 
-// ReadAt reads, zero-filling past EOF (netCDF semantics for unwritten data).
+// ReadAt reads, zero-filling past EOF (netCDF semantics for unwritten
+// data). Only io.EOF is translated into zero-fill; genuine I/O errors
+// propagate to the caller instead of being silently swallowed.
 func (s OSStore) ReadAt(p []byte, off int64) (int, error) {
 	n, err := s.F.ReadAt(p, off)
-	if err != nil && n < len(p) {
+	if err == io.EOF {
 		for i := n; i < len(p); i++ {
 			p[i] = 0
 		}
+		return len(p), nil
 	}
-	return len(p), nil
+	return n, err
 }
 
 // WriteAt writes through to the file.
@@ -125,6 +129,41 @@ type cachePage struct {
 	dirty bool
 }
 
+// readFull reads len(p) bytes at off, looping on short reads — a store may
+// legally return n < len(p) with a nil error (as a real file system under
+// load does), and a call site that ignores the count reads garbage in the
+// unfilled tail. A read that makes no progress fails rather than spinning.
+func readFull(s Store, p []byte, off int64) error {
+	for len(p) > 0 {
+		n, err := s.ReadAt(p, off)
+		if err != nil {
+			return err
+		}
+		if n <= 0 {
+			return io.ErrNoProgress
+		}
+		p = p[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
+// writeFull writes len(p) bytes at off, looping on short writes.
+func writeFull(s Store, p []byte, off int64) error {
+	for len(p) > 0 {
+		n, err := s.WriteAt(p, off)
+		if err != nil {
+			return err
+		}
+		if n <= 0 {
+			return io.ErrShortWrite
+		}
+		p = p[n:]
+		off += int64(n)
+	}
+	return nil
+}
+
 func newPageCache(store Store, pageSize int64, capacity int) *pageCache {
 	if pageSize < 512 {
 		pageSize = 512
@@ -149,7 +188,7 @@ func (c *pageCache) page(idx int64) (*cachePage, error) {
 		}
 	}
 	p := &cachePage{idx: idx, data: make([]byte, c.pageSize)}
-	if _, err := c.store.ReadAt(p.data, idx*c.pageSize); err != nil {
+	if err := readFull(c.store, p.data, idx*c.pageSize); err != nil {
 		return nil, err
 	}
 	c.pages[idx] = c.lru.PushFront(p)
@@ -163,7 +202,7 @@ func (c *pageCache) evictOne() error {
 	}
 	p := el.Value.(*cachePage)
 	if p.dirty {
-		if _, err := c.store.WriteAt(p.data, p.idx*c.pageSize); err != nil {
+		if err := writeFull(c.store, p.data, p.idx*c.pageSize); err != nil {
 			return err
 		}
 	}
@@ -180,8 +219,7 @@ func (c *pageCache) ReadAt(p []byte, off int64) error {
 		if err := c.flushRange(off, int64(len(p))); err != nil {
 			return err
 		}
-		_, err := c.store.ReadAt(p, off)
-		return err
+		return readFull(c.store, p, off)
 	}
 	for len(p) > 0 {
 		idx := off / c.pageSize
@@ -209,8 +247,7 @@ func (c *pageCache) WriteAt(p []byte, off int64) error {
 		if err := c.discardRange(off, int64(len(p))); err != nil {
 			return err
 		}
-		_, err := c.store.WriteAt(p, off)
-		return err
+		return writeFull(c.store, p, off)
 	}
 	for len(p) > 0 {
 		idx := off / c.pageSize
@@ -237,7 +274,7 @@ func (c *pageCache) flushRange(off, n int64) error {
 		if el, ok := c.pages[idx]; ok {
 			p := el.Value.(*cachePage)
 			if p.dirty {
-				if _, err := c.store.WriteAt(p.data, p.idx*c.pageSize); err != nil {
+				if err := writeFull(c.store, p.data, p.idx*c.pageSize); err != nil {
 					return err
 				}
 				p.dirty = false
@@ -256,7 +293,7 @@ func (c *pageCache) discardRange(off, n int64) error {
 			pageLo, pageHi := idx*c.pageSize, (idx+1)*c.pageSize
 			if pageLo < off || pageHi > off+n {
 				if p.dirty {
-					if _, err := c.store.WriteAt(p.data, p.idx*c.pageSize); err != nil {
+					if err := writeFull(c.store, p.data, p.idx*c.pageSize); err != nil {
 						return err
 					}
 				}
@@ -273,7 +310,7 @@ func (c *pageCache) Flush() error {
 	for el := c.lru.Front(); el != nil; el = el.Next() {
 		p := el.Value.(*cachePage)
 		if p.dirty {
-			if _, err := c.store.WriteAt(p.data, p.idx*c.pageSize); err != nil {
+			if err := writeFull(c.store, p.data, p.idx*c.pageSize); err != nil {
 				return err
 			}
 			p.dirty = false

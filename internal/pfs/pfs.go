@@ -29,6 +29,7 @@ import (
 	"sort"
 	"sync"
 
+	"pnetcdf/internal/fault"
 	"pnetcdf/internal/iostat"
 )
 
@@ -104,6 +105,9 @@ type FS struct {
 
 	srvMu sync.Mutex
 	busy  []float64 // per-server busy-until, virtual seconds
+
+	// inj injects faults into every handle's I/O (nil = faults off).
+	inj *fault.Injector
 }
 
 type fileData struct {
@@ -137,6 +141,15 @@ func New(cfg Config) *FS {
 
 // Config returns the file system's configuration.
 func (fs *FS) Config() Config { return fs.cfg }
+
+// SetFault installs (or with nil removes) the fault injector consulted by
+// every read/write request on this file system. The injector's short-read
+// rate is ignored at this layer: pfs requests complete fully or fail, and
+// short transfers are exercised at the store level (fault.FaultyStore).
+func (fs *FS) SetFault(in *fault.Injector) { fs.inj = in }
+
+// Fault returns the installed injector (nil when faults are off).
+func (fs *FS) Fault() *fault.Injector { return fs.inj }
 
 // PeakReadBW returns the aggregate read bandwidth ceiling in bytes/second.
 func (fs *FS) PeakReadBW() float64 { return float64(fs.cfg.NumServers) * fs.cfg.ReadBW }
@@ -316,21 +329,59 @@ func (fd *fileData) storeRead(p []byte, off int64) {
 }
 
 // WriteAt writes p at off, issued at virtual time t, and returns the
-// completion time.
-func (f *File) WriteAt(t float64, p []byte, off int64) float64 {
+// completion time. Errors are injected faults: fault.IsTransient errors may
+// clear on a re-issue (writes are idempotent — re-issuing rewrites the full
+// range), others are permanent.
+func (f *File) WriteAt(t float64, p []byte, off int64) (float64, error) {
 	return f.WriteV(t, []Segment{{Off: off, Len: int64(len(p))}}, p)
 }
 
 // ReadAt reads len(p) bytes at off, issued at virtual time t, and returns
 // the completion time.
-func (f *File) ReadAt(t float64, p []byte, off int64) float64 {
+func (f *File) ReadAt(t float64, p []byte, off int64) (float64, error) {
 	return f.ReadV(t, []Segment{{Off: off, Len: int64(len(p))}}, p)
+}
+
+// inject consults the file system's injector for one request batch and
+// returns its outcome. total is the payload size; off identifies the batch
+// by its first byte.
+func (f *File) inject(op fault.Op, segs []Segment, total int64) fault.Outcome {
+	off := int64(0)
+	if len(segs) > 0 {
+		off = segs[0].Off
+	}
+	return f.fs.inj.Decide(f.rank, op, off, total)
 }
 
 // WriteV writes the segments, taking consecutive bytes from src, as one
 // request batch. Segments should be sorted and non-overlapping; the cost
 // model charges one seek per (merged) extent per server.
-func (f *File) WriteV(t float64, segs []Segment, src []byte) float64 {
+//
+// Under fault injection a transient error leaves an injector-chosen prefix
+// of the payload on disk (the bytes that moved before the request died); a
+// re-issue of the identical request is safe and rewrites the full range. An
+// armed crash point keeps only the bytes before the crash byte, optionally
+// truncates the file, and fails permanently with fault.ErrCrashed.
+func (f *File) WriteV(t float64, segs []Segment, src []byte) (float64, error) {
+	var total int64
+	for _, s := range segs {
+		total += s.Len
+	}
+	if f.fs.inj != nil {
+		out := f.inject(fault.OpWrite, segs, total)
+		t += out.Delay
+		if out.Err != nil {
+			f.applyWritePrefix(segs, src, out)
+			if out.TruncateTo >= 0 {
+				f.Truncate(out.TruncateTo)
+			}
+			f.stats.Add(iostat.PfsFaultsInjected, 1)
+			return t + f.fs.cfg.NetLatency, out.Err
+		}
+		if out.Delay > 0 {
+			f.stats.Add(iostat.PfsFaultsInjected, 1)
+		}
+	}
 	pos := int64(0)
 	for _, s := range segs {
 		discard := f.fs.cfg.Discard && s.Len >= f.fs.cfg.DiscardThreshold
@@ -340,12 +391,46 @@ func (f *File) WriteV(t float64, segs []Segment, src []byte) float64 {
 	done, extents := f.fs.charge(t, segs, false, f.stats)
 	f.record(iostat.PfsWriteCalls, iostat.PfsBytesWritten, iostat.PfsWriteExtents,
 		"write", t, done, segs, pos, extents)
-	return done
+	return done, nil
+}
+
+// applyWritePrefix stores the partial payload a faulted write leaves
+// behind. For a crash the cut is by absolute file offset (out.N bytes past
+// the first segment's start); for a transient error it is the first out.N
+// payload bytes.
+func (f *File) applyWritePrefix(segs []Segment, src []byte, out fault.Outcome) {
+	remain := out.N
+	pos := int64(0)
+	for _, s := range segs {
+		if remain <= 0 {
+			break
+		}
+		k := min64(s.Len, remain)
+		discard := f.fs.cfg.Discard && s.Len >= f.fs.cfg.DiscardThreshold
+		f.fd.storeWrite(src[pos:pos+k], s.Off, discard)
+		pos += s.Len
+		remain -= k
+	}
 }
 
 // ReadV reads the segments into consecutive bytes of dst as one request
 // batch.
-func (f *File) ReadV(t float64, segs []Segment, dst []byte) float64 {
+func (f *File) ReadV(t float64, segs []Segment, dst []byte) (float64, error) {
+	var total int64
+	for _, s := range segs {
+		total += s.Len
+	}
+	if f.fs.inj != nil {
+		out := f.inject(fault.OpRead, segs, total)
+		t += out.Delay
+		if out.Err != nil {
+			f.stats.Add(iostat.PfsFaultsInjected, 1)
+			return t + f.fs.cfg.NetLatency, out.Err
+		}
+		if out.Delay > 0 {
+			f.stats.Add(iostat.PfsFaultsInjected, 1)
+		}
+	}
 	pos := int64(0)
 	for _, s := range segs {
 		f.fd.storeRead(dst[pos:pos+s.Len], s.Off)
@@ -354,7 +439,14 @@ func (f *File) ReadV(t float64, segs []Segment, dst []byte) float64 {
 	done, extents := f.fs.charge(t, segs, true, f.stats)
 	f.record(iostat.PfsReadCalls, iostat.PfsBytesRead, iostat.PfsReadExtents,
 		"read", t, done, segs, pos, extents)
-	return done
+	return done, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // record accumulates one request batch's counters and trace event.

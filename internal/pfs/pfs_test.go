@@ -128,14 +128,14 @@ func TestTimeMonotonicAndSizeScaling(t *testing.T) {
 	f, t0 := fs.Create("f", 0)
 	small := make([]byte, 4<<10)
 	big := make([]byte, 16<<20)
-	t1 := f.WriteAt(t0, small, 0)
+	t1, _ := f.WriteAt(t0, small, 0)
 	if t1 <= t0 {
 		t.Fatal("write completion not after issue")
 	}
 	fs.ResetClock()
-	ts := f.WriteAt(0, small, 0) // duration of small write from idle
+	ts, _ := f.WriteAt(0, small, 0) // duration of small write from idle
 	fs.ResetClock()
-	tb := f.WriteAt(0, big, 0)
+	tb, _ := f.WriteAt(0, big, 0)
 	if tb <= ts {
 		t.Fatalf("16 MB write (%v) not slower than 4 KB (%v)", tb, ts)
 	}
@@ -147,7 +147,7 @@ func TestAggregateBandwidthSaturates(t *testing.T) {
 	fs := testFS()
 	f, _ := fs.Create("f", 0)
 	nbytes := int64(256 << 20)
-	done := f.WriteV(0, []Segment{{Off: 0, Len: nbytes}}, make([]byte, nbytes))
+	done, _ := f.WriteV(0, []Segment{{Off: 0, Len: nbytes}}, make([]byte, nbytes))
 	bw := float64(nbytes) / done
 	if bw > fs.PeakWriteBW()*1.01 {
 		t.Fatalf("write bandwidth %.0f exceeds peak %.0f", bw, fs.PeakWriteBW())
@@ -168,7 +168,7 @@ func TestManyClientsBeatOneClient(t *testing.T) {
 
 	oneFS := New(cfg)
 	f1, _ := oneFS.Create("f", 0)
-	oneDone := f1.WriteV(0, []Segment{{0, total}}, make([]byte, total))
+	oneDone, _ := f1.WriteV(0, []Segment{{0, total}}, make([]byte, total))
 
 	nClients := 8
 	manyFS := New(cfg)
@@ -181,7 +181,7 @@ func TestManyClientsBeatOneClient(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			off := int64(c) * share
-			dones[c] = f2.WriteV(0, []Segment{{off, share}}, make([]byte, share))
+			dones[c], _ = f2.WriteV(0, []Segment{{off, share}}, make([]byte, share))
 		}(c)
 	}
 	wg.Wait()
@@ -205,7 +205,7 @@ func TestSeekPenaltyForDiscontiguity(t *testing.T) {
 
 	fsA := New(cfg)
 	fA, _ := fsA.Create("f", 0)
-	contig := fA.WriteV(0, []Segment{{0, total}}, make([]byte, total))
+	contig, _ := fA.WriteV(0, []Segment{{0, total}}, make([]byte, total))
 
 	fsB := New(cfg)
 	fB, _ := fsB.Create("f", 0)
@@ -215,7 +215,7 @@ func TestSeekPenaltyForDiscontiguity(t *testing.T) {
 	for i := range segs {
 		segs[i] = Segment{Off: int64(i) * segLen * 3, Len: segLen} // strided
 	}
-	scattered := fB.WriteV(0, segs, make([]byte, total))
+	scattered, _ := fB.WriteV(0, segs, make([]byte, total))
 
 	if scattered < 3*contig {
 		t.Fatalf("scattered (%.4fs) not clearly slower than contiguous (%.4fs)", scattered, contig)
@@ -227,9 +227,9 @@ func TestReadsFasterThanWrites(t *testing.T) {
 	f, _ := fs.Create("f", 0)
 	n := int64(32 << 20)
 	buf := make([]byte, n)
-	wDone := f.WriteV(0, []Segment{{0, n}}, buf)
+	wDone, _ := f.WriteV(0, []Segment{{0, n}}, buf)
 	fs.ResetClock()
-	rDone := f.ReadV(0, []Segment{{0, n}}, buf)
+	rDone, _ := f.ReadV(0, []Segment{{0, n}}, buf)
 	if rDone >= wDone {
 		t.Fatalf("read (%.3fs) not faster than write (%.3fs)", rDone, wDone)
 	}
@@ -298,7 +298,7 @@ func TestDiscardModeTracksSizeOnly(t *testing.T) {
 	cfg.Discard = true
 	fs := New(cfg)
 	f, _ := fs.Create("f", 0)
-	done := f.WriteAt(0, bytes.Repeat([]byte{1}, 1<<20), 0)
+	done, _ := f.WriteAt(0, bytes.Repeat([]byte{1}, 1<<20), 0)
 	if done <= 0 {
 		t.Fatal("discard mode charged no time")
 	}
@@ -372,11 +372,11 @@ func TestUnalignedWritePaysRMW(t *testing.T) {
 
 	fsA := New(cfg)
 	fa, _ := fsA.Create("a", 0)
-	aligned := fa.WriteV(0, []Segment{{Off: 0, Len: n}}, make([]byte, n))
+	aligned, _ := fa.WriteV(0, []Segment{{Off: 0, Len: n}}, make([]byte, n))
 
 	fsB := New(cfg)
 	fb, _ := fsB.Create("b", 0)
-	misaligned := fb.WriteV(0, []Segment{{Off: stripe / 2, Len: n}}, make([]byte, n))
+	misaligned, _ := fb.WriteV(0, []Segment{{Off: stripe / 2, Len: n}}, make([]byte, n))
 
 	if misaligned <= aligned {
 		t.Fatalf("misaligned write (%.5fs) not costlier than aligned (%.5fs)", misaligned, aligned)
@@ -384,10 +384,10 @@ func TestUnalignedWritePaysRMW(t *testing.T) {
 	// Reads never pay RMW: the gap must be much smaller.
 	fsC := New(cfg)
 	fc, _ := fsC.Create("c", 0)
-	alignedR := fc.ReadV(0, []Segment{{Off: 0, Len: n}}, make([]byte, n))
+	alignedR, _ := fc.ReadV(0, []Segment{{Off: 0, Len: n}}, make([]byte, n))
 	fsD := New(cfg)
 	fd, _ := fsD.Create("d", 0)
-	misalignedR := fd.ReadV(0, []Segment{{Off: stripe / 2, Len: n}}, make([]byte, n))
+	misalignedR, _ := fd.ReadV(0, []Segment{{Off: stripe / 2, Len: n}}, make([]byte, n))
 	if misalignedR > alignedR*1.10 {
 		t.Fatalf("misaligned read (%.5fs) penalized like a write (aligned %.5fs)", misalignedR, alignedR)
 	}

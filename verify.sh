@@ -1,7 +1,11 @@
 #!/usr/bin/env sh
-# Repo verification: build, vet, race-test. Set BENCH=1 to also run the
-# FLASH I/O benchmark with statistics and emit results/BENCH_flashio.json
-# (slower; not part of the default gate).
+# Repo verification: build, vet, race-test. The default pass includes the
+# FuzzDecode seed corpus (run as regular tests by go test). Opt-in passes:
+#   BENCH=1  run the FLASH I/O benchmark with statistics and emit
+#            results/BENCH_flashio.json (slower; not part of the gate).
+#   FAULT=1  re-run the fault-injection suites under the race detector and
+#            drive a FLASH checkpoint at a 1% transient fault rate with a
+#            fixed seed; the run must complete and account its retries.
 set -eu
 
 cd "$(dirname "$0")"
@@ -14,6 +18,14 @@ if [ "${BENCH:-0}" = "1" ]; then
     mkdir -p results
     go run ./cmd/flashio-bench -block 8 -files checkpoint -procs 4,8 \
         -stats -json results/BENCH_flashio.json
+fi
+
+if [ "${FAULT:-0}" = "1" ]; then
+    go test -race -run 'Fault|Crash|Retr|Agree|Short|Transient|Journal|Recover' \
+        ./internal/fault/ ./internal/cdf/ ./internal/netcdf/ \
+        ./internal/mpiio/ ./internal/core/ ./internal/integration/
+    go run ./cmd/flashio-bench -block 8 -procs 8 -blocks-per-proc 20 \
+        -files checkpoint -fault-rate 0.01 -fault-seed 2003 -stats
 fi
 
 echo "verify: OK"
