@@ -1,0 +1,71 @@
+package pnetcdf_test
+
+// Allocation regression pin for the pooled collective round: exchange and
+// round buffers come from internal/bufpool and the aggregator hands its
+// assembled iovec straight to the PFS, so bytes allocated per collective
+// write are dominated by fixed mpi/pfs machinery, not by
+// rounds x cb_buffer_size copies. Before pooling this shape allocated over
+// 100 MB/op; the pin catches any return to per-round buffer churn.
+
+import (
+	"testing"
+
+	"pnetcdf/internal/mpi"
+	"pnetcdf/internal/mpiio"
+	"pnetcdf/internal/mpitype"
+	"pnetcdf/internal/pfs"
+)
+
+func collectiveWriteOnce(tb testing.TB) {
+	const ranks = 4
+	const blockLen = 64 << 10
+	const nBlocks = 4 // 256 KiB per rank
+	fs := pfs.New(pfs.DefaultConfig())
+	err := mpi.Run(ranks, mpi.DefaultNet(), func(c *mpi.Comm) error {
+		info := mpi.NewInfo()
+		info.Set("cb_buffer_size", "131072")
+		f, err := mpiio.Open(c, fs, "alloc.nc", mpiio.ModeRdWr|mpiio.ModeCreate, info)
+		if err != nil {
+			return err
+		}
+		ft, err := mpitype.Vector(nBlocks, blockLen, ranks*blockLen, mpitype.Contig(1))
+		if err != nil {
+			return err
+		}
+		if err := f.SetView(int64(c.Rank())*blockLen, ft); err != nil {
+			return err
+		}
+		buf := make([]byte, nBlocks*blockLen)
+		for j := range buf {
+			buf[j] = byte(c.Rank())
+		}
+		if err := f.WriteAtAll(0, buf); err != nil {
+			return err
+		}
+		return f.Close()
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func TestAllocsCollectiveRound(t *testing.T) {
+	collectiveWriteOnce(t) // warm the buffer pools
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			collectiveWriteOnce(b)
+		}
+	})
+	t.Logf("collective write: %d allocs/op, %d B/op", res.AllocsPerOp(), res.AllocedBytesPerOp())
+	// The op includes a fresh pfs.New, file create, and 4-rank mpi.Run; the
+	// budget covers that fixed machinery (chunk storage for 1 MiB of file
+	// data, goroutine stacks) with headroom, but not per-round copies of the
+	// 1 MiB payload across the 8 rounds this shape produces.
+	if res.AllocedBytesPerOp() > 8<<20 {
+		t.Errorf("collective write allocates %d B/op, want <= %d", res.AllocedBytesPerOp(), 8<<20)
+	}
+	if res.AllocsPerOp() > 2000 {
+		t.Errorf("collective write allocates %d objects/op, want <= 2000", res.AllocsPerOp())
+	}
+}

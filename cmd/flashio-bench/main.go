@@ -48,6 +48,8 @@ var (
 	jsonOut   = flag.String("json", "", "write machine-readable results (implies -stats) to this file")
 	faultRate = flag.Float64("fault-rate", 0, "transient-fault probability per 64 KiB transferred (0 disables injection)")
 	faultSeed = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
+	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 // benchRecord is one PnetCDF data point in the -json output.
@@ -70,6 +72,7 @@ type benchOutput struct {
 
 func main() {
 	flag.Parse()
+	defer cmdutil.StartProfiles(tool, *cpuProf, *memProf)()
 	machine := bench.ASCIFrost()
 	collect := *stats || *jsonOut != ""
 	var configs []flash.Config

@@ -36,10 +36,13 @@ var (
 	traceOut  = flag.String("trace", "", "write a JSON-lines event trace to this file")
 	faultRate = flag.Float64("fault-rate", 0, "transient-fault probability per 64 KiB transferred (0 disables injection)")
 	faultSeed = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
+	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 func main() {
 	flag.Parse()
+	defer cmdutil.StartProfiles(tool, *cpuProf, *memProf)()
 	machine := bench.SDSCBlueHorizon()
 	if *ablate {
 		runAblations(machine)

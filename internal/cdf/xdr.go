@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"pnetcdf/internal/mpitype"
 	"pnetcdf/internal/nctype"
 )
 
@@ -24,6 +25,8 @@ type number interface {
 // the supported numeric slice types, or []byte/string when t is Char.
 // Numeric values are converted with C-style truncation; out-of-range values
 // yield ErrRange but are still written (wrapped), matching netCDF semantics.
+// A contiguous buffer is a single-run case of EncodeSegs, so the identity
+// fast paths apply here too.
 func EncodeSlice(dst []byte, t nctype.Type, src any) ([]byte, error) {
 	if t == nctype.Char {
 		switch s := src.(type) {
@@ -34,109 +37,108 @@ func EncodeSlice(dst []byte, t nctype.Type, src any) ([]byte, error) {
 		}
 		return dst, fmt.Errorf("%w: memory type %T with external char", nctype.ErrTypeMismatch, src)
 	}
-	switch s := src.(type) {
-	case []int8:
-		return encodeNum(dst, t, s)
-	case []int16:
-		return encodeNum(dst, t, s)
-	case []int32:
-		return encodeNum(dst, t, s)
-	case []int64:
-		return encodeNum(dst, t, s)
-	case []uint8:
-		return encodeNum(dst, t, s)
-	case []uint16:
-		return encodeNum(dst, t, s)
-	case []uint32:
-		return encodeNum(dst, t, s)
-	case []uint64:
-		return encodeNum(dst, t, s)
-	case []float32:
-		return encodeNum(dst, t, s)
-	case []float64:
-		return encodeNum(dst, t, s)
+	n := SliceLen(src)
+	if n < 0 {
+		return dst, fmt.Errorf("%w: unsupported memory type %T", nctype.ErrTypeMismatch, src)
 	}
-	return dst, fmt.Errorf("%w: unsupported memory type %T", nctype.ErrTypeMismatch, src)
+	return EncodeSegs(dst, t, src, []mpitype.Segment{{Off: 0, Len: int64(n)}})
 }
 
+// encodeNum converts src to external type t, appending to dst. The output
+// region is presized in one step and filled by index, so the conversion loop
+// carries no append bookkeeping and a caller that recycles dst across calls
+// (ext-buffer pooling in core) triggers no growth at all.
 func encodeNum[S number](dst []byte, t nctype.Type, src []S) ([]byte, error) {
+	esz := t.Size()
+	if esz == 0 || t == nctype.Char {
+		if t == nctype.Char {
+			return dst, nctype.ErrTypeMismatch
+		}
+		return dst, fmt.Errorf("%w: %v", nctype.ErrBadType, t)
+	}
+	base := len(dst)
+	n := len(src) * esz
+	if cap(dst)-base >= n {
+		// Extend within capacity without clearing: every byte of the
+		// extension is overwritten below.
+		dst = dst[:base+n]
+	} else {
+		dst = append(dst, make([]byte, n)...)
+	}
+	out := dst[base:]
 	rangeErr := false
 	switch t {
 	case nctype.Byte:
-		for _, v := range src {
+		for i, v := range src {
 			x := int64(v)
 			if x < math.MinInt8 || x > math.MaxInt8 {
 				rangeErr = true
 			}
-			dst = append(dst, byte(int8(x)))
+			out[i] = byte(int8(x))
 		}
 	case nctype.UByte:
-		for _, v := range src {
+		for i, v := range src {
 			x := int64(v)
 			if x < 0 || x > math.MaxUint8 {
 				rangeErr = true
 			}
-			dst = append(dst, byte(x))
+			out[i] = byte(x)
 		}
 	case nctype.Short:
-		for _, v := range src {
+		for i, v := range src {
 			x := int64(v)
 			if x < math.MinInt16 || x > math.MaxInt16 {
 				rangeErr = true
 			}
-			dst = binary.BigEndian.AppendUint16(dst, uint16(int16(x)))
+			binary.BigEndian.PutUint16(out[i*2:], uint16(int16(x)))
 		}
 	case nctype.UShort:
-		for _, v := range src {
+		for i, v := range src {
 			x := int64(v)
 			if x < 0 || x > math.MaxUint16 {
 				rangeErr = true
 			}
-			dst = binary.BigEndian.AppendUint16(dst, uint16(x))
+			binary.BigEndian.PutUint16(out[i*2:], uint16(x))
 		}
 	case nctype.Int:
-		for _, v := range src {
+		for i, v := range src {
 			x := int64(v)
 			if x < math.MinInt32 || x > math.MaxInt32 {
 				rangeErr = true
 			}
-			dst = binary.BigEndian.AppendUint32(dst, uint32(int32(x)))
+			binary.BigEndian.PutUint32(out[i*4:], uint32(int32(x)))
 		}
 	case nctype.UInt:
-		for _, v := range src {
+		for i, v := range src {
 			x := int64(v)
 			if x < 0 || x > math.MaxUint32 {
 				rangeErr = true
 			}
-			dst = binary.BigEndian.AppendUint32(dst, uint32(x))
+			binary.BigEndian.PutUint32(out[i*4:], uint32(x))
 		}
 	case nctype.Int64:
-		for _, v := range src {
-			dst = binary.BigEndian.AppendUint64(dst, uint64(int64(v)))
+		for i, v := range src {
+			binary.BigEndian.PutUint64(out[i*8:], uint64(int64(v)))
 		}
 	case nctype.UInt64:
-		for _, v := range src {
+		for i, v := range src {
 			if isNeg(v) {
 				rangeErr = true
 			}
-			dst = binary.BigEndian.AppendUint64(dst, uint64(int64(v)))
+			binary.BigEndian.PutUint64(out[i*8:], uint64(int64(v)))
 		}
 	case nctype.Float:
-		for _, v := range src {
+		for i, v := range src {
 			f := float64(v)
 			if f > math.MaxFloat32 || f < -math.MaxFloat32 {
 				rangeErr = true
 			}
-			dst = binary.BigEndian.AppendUint32(dst, math.Float32bits(float32(f)))
+			binary.BigEndian.PutUint32(out[i*4:], math.Float32bits(float32(f)))
 		}
 	case nctype.Double:
-		for _, v := range src {
-			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(float64(v)))
+		for i, v := range src {
+			binary.BigEndian.PutUint64(out[i*8:], math.Float64bits(float64(v)))
 		}
-	case nctype.Char:
-		return dst, nctype.ErrTypeMismatch
-	default:
-		return dst, fmt.Errorf("%w: %v", nctype.ErrBadType, t)
 	}
 	if rangeErr {
 		return dst, ErrRange
@@ -160,29 +162,16 @@ func DecodeSlice(src []byte, t nctype.Type, dst any) error {
 		}
 		return fmt.Errorf("%w: memory type %T with external char", nctype.ErrTypeMismatch, dst)
 	}
-	switch d := dst.(type) {
-	case []int8:
-		return decodeNum(src, t, d)
-	case []int16:
-		return decodeNum(src, t, d)
-	case []int32:
-		return decodeNum(src, t, d)
-	case []int64:
-		return decodeNum(src, t, d)
-	case []uint8:
-		return decodeNum(src, t, d)
-	case []uint16:
-		return decodeNum(src, t, d)
-	case []uint32:
-		return decodeNum(src, t, d)
-	case []uint64:
-		return decodeNum(src, t, d)
-	case []float32:
-		return decodeNum(src, t, d)
-	case []float64:
-		return decodeNum(src, t, d)
+	n := SliceLen(dst)
+	if n < 0 || isString(dst) {
+		return fmt.Errorf("%w: unsupported memory type %T", nctype.ErrTypeMismatch, dst)
 	}
-	return fmt.Errorf("%w: unsupported memory type %T", nctype.ErrTypeMismatch, dst)
+	return DecodeSegs(src, t, []mpitype.Segment{{Off: 0, Len: int64(n)}}, dst)
+}
+
+func isString(v any) bool {
+	_, ok := v.(string)
+	return ok
 }
 
 func decodeNum[S number](src []byte, t nctype.Type, dst []S) error {

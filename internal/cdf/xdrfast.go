@@ -1,0 +1,254 @@
+package cdf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"pnetcdf/internal/mpitype"
+	"pnetcdf/internal/nctype"
+)
+
+// Identity fast paths: when the memory element type already matches the
+// external type bit-for-bit (modulo byte order), conversion is a bswap copy
+// per contiguous run with no range checks or widening. These carry the bulk
+// of real workloads — FLASH writes float32/float64 straight through — and
+// are what makes the strided pack run at copy speed.
+
+// checkSegs validates the element segments against src and returns their
+// total element count.
+func checkSegs[T any](src []T, segs []mpitype.Segment) (int64, error) {
+	var total int64
+	for _, s := range segs {
+		if s.Off < 0 || s.Len < 0 || s.Off+s.Len > int64(len(src)) {
+			return 0, fmt.Errorf("mpitype: element segment %+v outside buffer of %d", s, len(src))
+		}
+		total += s.Len
+	}
+	return total, nil
+}
+
+// extend grows dst by n bytes WITHOUT zeroing when capacity suffices (the
+// caller overwrites every byte) and returns the full slice plus the
+// extension.
+func extend(dst []byte, n int) ([]byte, []byte) {
+	base := len(dst)
+	if cap(dst)-base >= n {
+		dst = dst[:base+n]
+	} else {
+		dst = append(dst, make([]byte, n)...)
+	}
+	return dst, dst[base:]
+}
+
+func encSegs8[S ~int8 | ~uint8](dst []byte, src []S, segs []mpitype.Segment) ([]byte, error) {
+	total, err := checkSegs(src, segs)
+	if err != nil {
+		return dst, err
+	}
+	dst, o := extend(dst, int(total))
+	for _, sg := range segs {
+		run := src[sg.Off : sg.Off+sg.Len]
+		for i, v := range run {
+			o[i] = byte(v)
+		}
+		o = o[len(run):]
+	}
+	return dst, nil
+}
+
+func encSegs16[S ~int16 | ~uint16](dst []byte, src []S, segs []mpitype.Segment) ([]byte, error) {
+	total, err := checkSegs(src, segs)
+	if err != nil {
+		return dst, err
+	}
+	dst, o := extend(dst, int(total)*2)
+	for _, sg := range segs {
+		for _, v := range src[sg.Off : sg.Off+sg.Len] {
+			binary.BigEndian.PutUint16(o, uint16(v))
+			o = o[2:]
+		}
+	}
+	return dst, nil
+}
+
+func encSegs32[S ~int32 | ~uint32](dst []byte, src []S, segs []mpitype.Segment) ([]byte, error) {
+	total, err := checkSegs(src, segs)
+	if err != nil {
+		return dst, err
+	}
+	dst, o := extend(dst, int(total)*4)
+	for _, sg := range segs {
+		for _, v := range src[sg.Off : sg.Off+sg.Len] {
+			binary.BigEndian.PutUint32(o, uint32(v))
+			o = o[4:]
+		}
+	}
+	return dst, nil
+}
+
+func encSegs64[S ~int64 | ~uint64](dst []byte, src []S, segs []mpitype.Segment) ([]byte, error) {
+	total, err := checkSegs(src, segs)
+	if err != nil {
+		return dst, err
+	}
+	dst, o := extend(dst, int(total)*8)
+	for _, sg := range segs {
+		for _, v := range src[sg.Off : sg.Off+sg.Len] {
+			binary.BigEndian.PutUint64(o, uint64(v))
+			o = o[8:]
+		}
+	}
+	return dst, nil
+}
+
+func encSegsF32(dst []byte, src []float32, segs []mpitype.Segment) ([]byte, error) {
+	total, err := checkSegs(src, segs)
+	if err != nil {
+		return dst, err
+	}
+	dst, o := extend(dst, int(total)*4)
+	for _, sg := range segs {
+		run := src[sg.Off : sg.Off+sg.Len]
+		// Pack four elements into two 8-byte stores per iteration: runs from
+		// flattened subarrays are short (the innermost dim), so shrinking the
+		// per-element slice bookkeeping matters more than it would on a long
+		// contiguous loop.
+		i := 0
+		for ; i+3 < len(run); i += 4 {
+			w0 := uint64(math.Float32bits(run[i]))<<32 | uint64(math.Float32bits(run[i+1]))
+			w1 := uint64(math.Float32bits(run[i+2]))<<32 | uint64(math.Float32bits(run[i+3]))
+			binary.BigEndian.PutUint64(o, w0)
+			binary.BigEndian.PutUint64(o[8:], w1)
+			o = o[16:]
+		}
+		for ; i < len(run); i++ {
+			binary.BigEndian.PutUint32(o, math.Float32bits(run[i]))
+			o = o[4:]
+		}
+	}
+	return dst, nil
+}
+
+func encSegsF64(dst []byte, src []float64, segs []mpitype.Segment) ([]byte, error) {
+	total, err := checkSegs(src, segs)
+	if err != nil {
+		return dst, err
+	}
+	dst, o := extend(dst, int(total)*8)
+	for _, sg := range segs {
+		for _, v := range src[sg.Off : sg.Off+sg.Len] {
+			binary.BigEndian.PutUint64(o, math.Float64bits(v))
+			o = o[8:]
+		}
+	}
+	return dst, nil
+}
+
+// Decode counterparts: scatter consecutive external values into the element
+// positions segs selects. src length is checked against the total.
+
+func decCheck[T any](src []byte, segs []mpitype.Segment, dst []T, esz int) (int64, error) {
+	total, err := checkSegs(dst, segs)
+	if err != nil {
+		return 0, err
+	}
+	if int64(len(src)) < total*int64(esz) {
+		return 0, nctype.ErrCountMismatch
+	}
+	return total, nil
+}
+
+func decSegs8[S ~int8 | ~uint8](src []byte, segs []mpitype.Segment, dst []S) error {
+	if _, err := decCheck(src, segs, dst, 1); err != nil {
+		return err
+	}
+	for _, sg := range segs {
+		run := dst[sg.Off : sg.Off+sg.Len]
+		for i := range run {
+			run[i] = S(src[i])
+		}
+		src = src[len(run):]
+	}
+	return nil
+}
+
+func decSegs16[S ~int16 | ~uint16](src []byte, segs []mpitype.Segment, dst []S) error {
+	if _, err := decCheck(src, segs, dst, 2); err != nil {
+		return err
+	}
+	for _, sg := range segs {
+		run := dst[sg.Off : sg.Off+sg.Len]
+		for i := range run {
+			run[i] = S(binary.BigEndian.Uint16(src[i*2:]))
+		}
+		src = src[len(run)*2:]
+	}
+	return nil
+}
+
+func decSegs32[S ~int32 | ~uint32](src []byte, segs []mpitype.Segment, dst []S) error {
+	if _, err := decCheck(src, segs, dst, 4); err != nil {
+		return err
+	}
+	for _, sg := range segs {
+		run := dst[sg.Off : sg.Off+sg.Len]
+		for i := range run {
+			run[i] = S(binary.BigEndian.Uint32(src[i*4:]))
+		}
+		src = src[len(run)*4:]
+	}
+	return nil
+}
+
+func decSegs64[S ~int64 | ~uint64](src []byte, segs []mpitype.Segment, dst []S) error {
+	if _, err := decCheck(src, segs, dst, 8); err != nil {
+		return err
+	}
+	for _, sg := range segs {
+		run := dst[sg.Off : sg.Off+sg.Len]
+		for i := range run {
+			run[i] = S(binary.BigEndian.Uint64(src[i*8:]))
+		}
+		src = src[len(run)*8:]
+	}
+	return nil
+}
+
+func decSegsF32(src []byte, segs []mpitype.Segment, dst []float32) error {
+	if _, err := decCheck(src, segs, dst, 4); err != nil {
+		return err
+	}
+	for _, sg := range segs {
+		run := dst[sg.Off : sg.Off+sg.Len]
+		i := 0
+		for ; i+3 < len(run); i += 4 {
+			w0 := binary.BigEndian.Uint64(src)
+			w1 := binary.BigEndian.Uint64(src[8:])
+			run[i] = math.Float32frombits(uint32(w0 >> 32))
+			run[i+1] = math.Float32frombits(uint32(w0))
+			run[i+2] = math.Float32frombits(uint32(w1 >> 32))
+			run[i+3] = math.Float32frombits(uint32(w1))
+			src = src[16:]
+		}
+		for ; i < len(run); i++ {
+			run[i] = math.Float32frombits(binary.BigEndian.Uint32(src))
+			src = src[4:]
+		}
+	}
+	return nil
+}
+
+func decSegsF64(src []byte, segs []mpitype.Segment, dst []float64) error {
+	if _, err := decCheck(src, segs, dst, 8); err != nil {
+		return err
+	}
+	for _, sg := range segs {
+		run := dst[sg.Off : sg.Off+sg.Len]
+		for i := range run {
+			run[i] = math.Float64frombits(binary.BigEndian.Uint64(src[i*8:]))
+		}
+		src = src[len(run)*8:]
+	}
+	return nil
+}

@@ -7,6 +7,8 @@ package cmdutil
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 )
 
 // Fatal prints "tool: err" to stderr and exits 1. A nil err is a no-op, so
@@ -31,4 +33,33 @@ func Fatalf(tool, format string, args ...any) {
 func Usagef(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(2)
+}
+
+// StartProfiles implements the conventional -cpuprofile/-memprofile behavior
+// for the bench tools: an empty path disables that profile. It returns a
+// stop function the caller must defer; stop ends the CPU profile and writes
+// the heap profile (after a GC, so it reflects live data, like `go test
+// -memprofile`). Profiles are only written when the tool completes normally
+// — Fatal's os.Exit skips deferred stops, which is fine for a profiling run.
+func StartProfiles(tool, cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		Fatal(tool, err)
+		Fatal(tool, pprof.StartCPUProfile(f))
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			Fatal(tool, cpuFile.Close())
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			Fatal(tool, err)
+			runtime.GC()
+			Fatal(tool, pprof.WriteHeapProfile(f))
+			Fatal(tool, f.Close())
+		}
+	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"pnetcdf/internal/access"
+	"pnetcdf/internal/bufpool"
 	"pnetcdf/internal/cdf"
 	"pnetcdf/internal/iostat"
 	"pnetcdf/internal/mpi"
@@ -283,16 +284,22 @@ func (d *Dataset) putFlex(varid int, start, count, stride []int64, data any, mem
 	if memSize >= 0 && memSize != req.NElems {
 		return nctype.ErrCountMismatch
 	}
-	var linear any
+	// Pack straight from user memory into a pooled external buffer: strided
+	// memory runs run-length over the flattened typemap (no gathered
+	// intermediate), contiguous memory is a single conversion pass.
+	ext := bufpool.GetDirty(int(req.NElems) * v.Type.Size())[:0]
+	defer func() { bufpool.Put(ext) }()
+	var encErr error
 	if memsegs == nil {
+		var linear any
 		linear, err = netcdf.SliceHead(data, req.NElems)
+		if err != nil {
+			return err
+		}
+		ext, encErr = cdf.EncodeSlice(ext, v.Type, linear)
 	} else {
-		linear, err = netcdf.GatherAny(data, memsegs)
+		ext, encErr = cdf.EncodeSegs(ext, v.Type, data, memsegs)
 	}
-	if err != nil {
-		return err
-	}
-	ext, encErr := cdf.EncodeSlice(nil, v.Type, linear)
 	if encErr != nil && encErr != cdf.ErrRange {
 		return encErr
 	}
@@ -318,7 +325,7 @@ func (d *Dataset) putFlex(varid int, start, count, stride []int64, data any, mem
 		d.numrecsDirty = true
 	}
 	d.invalidate(varid)
-	view, err := access.FileView(d.hdr, v, req)
+	view, err := d.fileView(varid, v, req)
 	if err != nil {
 		return err
 	}
@@ -390,9 +397,11 @@ func (d *Dataset) getFlex(varid int, start, count, stride []int64, data any, mem
 	if memSize >= 0 && memSize != req.NElems {
 		return nctype.ErrCountMismatch
 	}
-	ext := make([]byte, req.NElems*int64(v.Type.Size()))
+	// Pooled and dirty: the read (or cache hit) fills every byte.
+	ext := bufpool.GetDirty(int(req.NElems) * v.Type.Size())
+	defer bufpool.Put(ext)
 	if !d.cachedRead(varid, req, ext) {
-		view, err := access.FileView(d.hdr, v, req)
+		view, err := d.fileView(varid, v, req)
 		if err != nil {
 			return err
 		}
@@ -418,12 +427,7 @@ func (d *Dataset) getFlex(varid int, start, count, stride []int64, data any, mem
 		}
 		return cdf.DecodeSlice(ext, v.Type, linear)
 	}
-	tmp, err := netcdf.MakeLike(data, req.NElems)
-	if err != nil {
-		return err
-	}
-	if err := cdf.DecodeSlice(ext, v.Type, tmp); err != nil {
-		return err
-	}
-	return netcdf.ScatterAny(tmp, memsegs, data)
+	// Scatter run-length over the flattened typemap — no decoded
+	// intermediate.
+	return cdf.DecodeSegs(ext, v.Type, memsegs, data)
 }

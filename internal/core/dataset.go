@@ -28,6 +28,7 @@ import (
 	"pnetcdf/internal/iostat"
 	"pnetcdf/internal/mpi"
 	"pnetcdf/internal/mpiio"
+	"pnetcdf/internal/mpitype"
 	"pnetcdf/internal/nctype"
 	"pnetcdf/internal/pfs"
 )
@@ -63,6 +64,10 @@ type Dataset struct {
 	// cache holds whole-variable external images loaded by the
 	// nc_prefetch_vars hint (see prefetch.go); nil when the hint is absent.
 	cache map[int][]byte
+
+	// views caches flattened file views per (variable, access geometry);
+	// cleared whenever a define-mode transition recomputes the layout.
+	views map[viewKey]mpitype.Datatype
 
 	oldLayout *cdf.Header
 	pending   []pendingOp // nonblocking iput/iget queue
@@ -442,6 +447,7 @@ func (d *Dataset) EndDef() error {
 	if err := d.hdr.ComputeLayoutAligned(d.hAlign, d.vAlign); err != nil {
 		return err
 	}
+	d.invalidateViews()
 	if !d.comm.AgreeSame(d.hdr.Encode()) {
 		return nctype.ErrConsistency
 	}

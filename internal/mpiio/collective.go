@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"pnetcdf/internal/bufpool"
 	"pnetcdf/internal/iostat"
 	"pnetcdf/internal/mpi"
 	"pnetcdf/internal/pfs"
@@ -65,38 +66,51 @@ func (f *File) WriteAtAll(off int64, buf []byte) error {
 		return nil // nobody has data
 	}
 	myAgg := plan.aggIndex(f.comm.Rank())
+	// Hoisted out of the round loop: buffer-position prefix sums and the
+	// per-aggregator segment index span over each file domain, so every
+	// round's window clip is a binary search within its aggregator's span
+	// instead of a rescan of the whole segment list.
+	prefix := segPrefix(segs)
+	spans := plan.spans(segs)
+	parts := make([][]byte, f.comm.Size())
+	var scratch []reqSeg
+	var entries []writeEntry
 	round := 0
 	for r := int64(0); r < plan.rounds; r++ {
 		// Phase 1: each rank slices its request per aggregator window and
-		// ships segment lists plus payload.
-		parts := make([][]byte, f.comm.Size())
+		// ships segment lists plus payload (pooled message buffers).
+		clear(parts)
 		for a := 0; a < plan.naggs; a++ {
 			lo, hi := plan.window(a, r)
 			if hi <= lo {
 				continue
 			}
-			reqs := intersect(segs, lo, hi)
-			if len(reqs) == 0 {
+			scratch = intersectRange(segs, prefix, spans[a], lo, hi, scratch[:0])
+			if len(scratch) == 0 {
 				continue
 			}
-			msg := encodeWriteMsg(reqs, buf)
+			msg := encodeWriteMsg(scratch, buf)
 			parts[plan.aggRank(a)] = msg
 			f.st.Add(iostat.IOExchangeBytes, int64(len(msg)))
 		}
 		msgs := sparseExchange(f.comm, parts, collTagBase+round)
 		round++
-		// Phase 2: aggregators assemble and issue large writes (transient
-		// errors retried under the file's retry policy).
+		// Phase 2: aggregators issue large vectored writes whose iovec points
+		// straight into the received message payloads — no coalescing copy
+		// (transient errors retried under the file's retry policy).
 		var roundErr error
 		if myAgg >= 0 {
-			entries := decodeWriteMsgs(msgs)
+			entries = decodeWriteMsgs(msgs, entries[:0])
 			if len(entries) > 0 {
-				wsegs, data := assembleWrite(entries)
+				wsegs, iov := assembleWriteVec(entries)
 				roundErr = f.doPF(func(t float64) (float64, error) {
-					return f.pf.WriteV(t, wsegs, data)
+					return f.pf.WriteVec(t, wsegs, iov)
 				})
 			}
 		}
+		// The write is down; recycle this round's buffers. The self-delivered
+		// entry aliases parts[rank], so it is returned exactly once.
+		recycleRound(parts, msgs, f.comm.Rank())
 		// Collective error agreement: every rank learns whether any
 		// aggregator failed this round, so all ranks return the same error
 		// and nobody proceeds into the next round's exchange alone.
@@ -130,18 +144,29 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 		return nil
 	}
 	myAgg := plan.aggIndex(f.comm.Rank())
+	// Hoisted out of the round loop (see WriteAtAll): prefix sums, per-
+	// aggregator spans, the parts/replies slices, and per-aggregator request
+	// scratch (safe to reuse — requests are consumed by the scatter at the
+	// end of their own round).
+	prefix := segPrefix(segs)
+	spans := plan.spans(segs)
+	parts := make([][]byte, f.comm.Size())
+	replies := make([][]byte, f.comm.Size())
+	myReqs := make([][]reqSeg, f.comm.Size()) // agg rank -> requests, in order
+	reqBufs := make([][]reqSeg, plan.naggs)
 	round := 0
 	for r := int64(0); r < plan.rounds; r++ {
 		// Phase 1: ship request segment lists to aggregators; remember the
 		// order so replies can be scattered back into buf.
-		parts := make([][]byte, f.comm.Size())
-		myReqs := make(map[int][]reqSeg) // agg rank -> requests, in order
+		clear(parts)
+		clear(myReqs)
 		for a := 0; a < plan.naggs; a++ {
 			lo, hi := plan.window(a, r)
 			if hi <= lo {
 				continue
 			}
-			reqs := intersect(segs, lo, hi)
+			reqBufs[a] = intersectRange(segs, prefix, spans[a], lo, hi, reqBufs[a][:0])
+			reqs := reqBufs[a]
 			if len(reqs) == 0 {
 				continue
 			}
@@ -153,18 +178,23 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 		msgs := sparseExchange(f.comm, parts, collTagBase+round)
 		round++
 		// Phase 2: aggregators read merged coverage and reply per source.
-		replies := make([][]byte, f.comm.Size())
+		clear(replies)
 		var roundErr error
+		var cov *coverage
 		if myAgg >= 0 {
 			reqsBySrc := decodeReadMsgs(msgs)
 			if len(reqsBySrc) > 0 {
-				cov := newCoverage(reqsBySrc)
+				cov = newCoverage(reqsBySrc)
 				roundErr = f.doPF(func(t float64) (float64, error) {
 					return f.pf.ReadV(t, cov.segs, cov.data)
 				})
 				if roundErr == nil {
 					for src, reqs := range reqsBySrc {
-						out := make([]byte, 0, 64)
+						var total int64
+						for _, rq := range reqs {
+							total += rq.len
+						}
+						out := bufpool.GetDirty(int(total))[:0]
 						for _, rq := range reqs {
 							out = append(out, cov.extract(rq.off, rq.len)...)
 						}
@@ -174,6 +204,10 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 				}
 			}
 		}
+		if cov != nil {
+			bufpool.Put(cov.data)
+		}
+		recycleRound(parts, msgs, f.comm.Rank())
 		// Collective error agreement BEFORE the reply exchange: a failed
 		// aggregator has no data to send back, so all ranks must learn of
 		// the failure here or the reply exchange would hang.
@@ -191,6 +225,7 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 				pos += rq.len
 			}
 		}
+		recycleRound(replies, back, f.comm.Rank())
 	}
 	f.st.Add(iostat.IOTwoPhaseRounds, plan.rounds)
 	f.recordAccess("coll_read", iostat.IOCollReadCalls, iostat.IOBytesRead,
@@ -305,28 +340,68 @@ func (p collectivePlan) window(a int, r int64) (lo, hi int64) {
 	return lo, hi
 }
 
-// intersect clips the sorted segment list to [lo, hi), tracking buffer
-// positions.
-func intersect(segs []pfs.Segment, lo, hi int64) []reqSeg {
-	var out []reqSeg
-	bufPos := int64(0)
-	// Binary search for the first segment that ends after lo.
-	i := sort.Search(len(segs), func(i int) bool {
-		return segs[i].Off+segs[i].Len > lo
-	})
-	for k := 0; k < i; k++ {
-		bufPos += segs[k].Len
+// segPrefix returns buffer-position prefix sums for a segment list:
+// prefix[i] is the number of payload bytes before segs[i]. Computed once per
+// collective call so window clips need no rescans.
+func segPrefix(segs []pfs.Segment) []int64 {
+	prefix := make([]int64, len(segs)+1)
+	for i, s := range segs {
+		prefix[i+1] = prefix[i] + s.Len
 	}
-	for ; i < len(segs) && segs[i].Off < hi; i++ {
+	return prefix
+}
+
+// segSpan is a half-open index range of a rank's segment list.
+type segSpan struct{ i0, i1 int }
+
+// spans returns, per aggregator, the indices of segs overlapping that
+// aggregator's file domain — the per-aggregator slicing done once, outside
+// the round loop.
+func (p collectivePlan) spans(segs []pfs.Segment) []segSpan {
+	out := make([]segSpan, p.naggs)
+	for a := 0; a < p.naggs; a++ {
+		dLo, dHi := p.boundary(a), p.boundary(a+1)
+		i0 := sort.Search(len(segs), func(i int) bool { return segs[i].Off+segs[i].Len > dLo })
+		i1 := i0 + sort.Search(len(segs)-i0, func(i int) bool { return segs[i0+i].Off >= dHi })
+		out[a] = segSpan{i0: i0, i1: i1}
+	}
+	return out
+}
+
+// intersectRange clips segs[span.i0:span.i1) to the window [lo, hi),
+// appending to out (reused across rounds). Buffer positions come from the
+// precomputed prefix sums.
+func intersectRange(segs []pfs.Segment, prefix []int64, span segSpan, lo, hi int64, out []reqSeg) []reqSeg {
+	// Binary search within the span for the first segment ending after lo.
+	i := span.i0 + sort.Search(span.i1-span.i0, func(k int) bool {
+		return segs[span.i0+k].Off+segs[span.i0+k].Len > lo
+	})
+	for ; i < span.i1 && segs[i].Off < hi; i++ {
 		s := segs[i]
 		cLo := max64(s.Off, lo)
 		cHi := min64(s.Off+s.Len, hi)
 		if cHi > cLo {
-			out = append(out, reqSeg{off: cLo, len: cHi - cLo, bufPos: bufPos + (cLo - s.Off)})
+			out = append(out, reqSeg{off: cLo, len: cHi - cLo, bufPos: prefix[i] + (cLo - s.Off)})
 		}
-		bufPos += s.Len
 	}
 	return out
+}
+
+// recycleRound returns one exchange round's buffers to the pool: every
+// locally encoded message in parts, and every received blob in msgs except
+// the self-delivered one — sparseExchange delivers to self by reference, so
+// msgs[self] aliases parts[self] and must be returned exactly once.
+func recycleRound(parts, msgs [][]byte, self int) {
+	for _, p := range parts {
+		if p != nil {
+			bufpool.Put(p)
+		}
+	}
+	for i, m := range msgs {
+		if m != nil && i != self {
+			bufpool.Put(m)
+		}
+	}
 }
 
 // sparseExchange delivers parts[dst] to each dst with a non-nil entry and
@@ -367,14 +442,16 @@ func encodeWriteMsg(reqs []reqSeg, buf []byte) []byte {
 	for _, r := range reqs {
 		total += r.len
 	}
-	msg := make([]byte, 0, 8+16*len(reqs)+int(total))
-	msg = binary.BigEndian.AppendUint64(msg, uint64(len(reqs)))
+	msg := bufpool.GetDirty(8 + 16*len(reqs) + int(total))
+	binary.BigEndian.PutUint64(msg, uint64(len(reqs)))
+	p := 8
 	for _, r := range reqs {
-		msg = binary.BigEndian.AppendUint64(msg, uint64(r.off))
-		msg = binary.BigEndian.AppendUint64(msg, uint64(r.len))
+		binary.BigEndian.PutUint64(msg[p:], uint64(r.off))
+		binary.BigEndian.PutUint64(msg[p+8:], uint64(r.len))
+		p += 16
 	}
 	for _, r := range reqs {
-		msg = append(msg, buf[r.bufPos:r.bufPos+r.len]...)
+		p += copy(msg[p:], buf[r.bufPos:r.bufPos+r.len])
 	}
 	return msg
 }
@@ -384,8 +461,7 @@ type writeEntry struct {
 	data []byte
 }
 
-func decodeWriteMsgs(msgs [][]byte) []writeEntry {
-	var entries []writeEntry
+func decodeWriteMsgs(msgs [][]byte, entries []writeEntry) []writeEntry {
 	for _, msg := range msgs {
 		if msg == nil {
 			continue
@@ -404,15 +480,15 @@ func decodeWriteMsgs(msgs [][]byte) []writeEntry {
 	return entries
 }
 
-// assembleWrite sorts and merges entries into a vectored write.
-func assembleWrite(entries []writeEntry) ([]pfs.Segment, []byte) {
+// assembleWriteVec sorts and merges entries into a vectored write whose
+// iovec references the entries' payload bytes in place — the message blobs
+// themselves are the write buffers (the zero-copy half of the two-phase
+// write; the pfs cost model sees only the merged segments, identical to the
+// old coalesced path).
+func assembleWriteVec(entries []writeEntry) ([]pfs.Segment, [][]byte) {
 	sort.Slice(entries, func(i, j int) bool { return entries[i].off < entries[j].off })
-	var segs []pfs.Segment
-	var total int64
-	for _, e := range entries {
-		total += int64(len(e.data))
-	}
-	data := make([]byte, 0, total)
+	segs := make([]pfs.Segment, 0, len(entries))
+	iov := make([][]byte, 0, len(entries))
 	for _, e := range entries {
 		l := int64(len(e.data))
 		if n := len(segs); n > 0 && segs[n-1].Off+segs[n-1].Len == e.off {
@@ -420,17 +496,19 @@ func assembleWrite(entries []writeEntry) ([]pfs.Segment, []byte) {
 		} else {
 			segs = append(segs, pfs.Segment{Off: e.off, Len: l})
 		}
-		data = append(data, e.data...)
+		iov = append(iov, e.data)
 	}
-	return segs, data
+	return segs, iov
 }
 
 func encodeReadMsg(reqs []reqSeg) []byte {
-	msg := make([]byte, 0, 8+16*len(reqs))
-	msg = binary.BigEndian.AppendUint64(msg, uint64(len(reqs)))
+	msg := bufpool.GetDirty(8 + 16*len(reqs))
+	binary.BigEndian.PutUint64(msg, uint64(len(reqs)))
+	p := 8
 	for _, r := range reqs {
-		msg = binary.BigEndian.AppendUint64(msg, uint64(r.off))
-		msg = binary.BigEndian.AppendUint64(msg, uint64(r.len))
+		binary.BigEndian.PutUint64(msg[p:], uint64(r.off))
+		binary.BigEndian.PutUint64(msg[p+8:], uint64(r.len))
+		p += 16
 	}
 	return msg
 }
@@ -487,7 +565,8 @@ func newCoverage(reqsBySrc map[int][]reqSeg) *coverage {
 		starts[i] = total
 		total += s.Len
 	}
-	return &coverage{segs: segs, starts: starts, data: make([]byte, total)}
+	// Pooled and dirty: ReadV fills every byte (the segments exactly cover it).
+	return &coverage{segs: segs, starts: starts, data: bufpool.GetDirty(int(total))}
 }
 
 // extract returns the l bytes at absolute file offset off, which must lie

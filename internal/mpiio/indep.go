@@ -1,6 +1,7 @@
 package mpiio
 
 import (
+	"pnetcdf/internal/bufpool"
 	"pnetcdf/internal/iostat"
 	"pnetcdf/internal/pfs"
 )
@@ -51,10 +52,11 @@ func (f *File) sieveRead(segs []pfs.Segment, buf []byte) error {
 			hi = segs[j].Off + segs[j].Len
 			j++
 		}
-		cover := make([]byte, hi-lo)
+		cover := bufpool.GetDirty(int(hi - lo))
 		if err := f.doPF(func(t float64) (float64, error) {
 			return f.pf.ReadAt(t, cover, lo)
 		}); err != nil {
+			bufpool.Put(cover)
 			return err
 		}
 		wanted := int64(0)
@@ -64,6 +66,7 @@ func (f *File) sieveRead(segs []pfs.Segment, buf []byte) error {
 			bufPos += s.Len
 			wanted += s.Len
 		}
+		bufpool.Put(cover)
 		f.st.Add(iostat.IOSieveReads, 1)
 		f.st.Add(iostat.IOSieveReadAmpBytes, (hi-lo)-wanted)
 		i = j
@@ -125,12 +128,18 @@ func (f *File) sieveWrite(segs []pfs.Segment, buf []byte) error {
 			i = j
 			continue
 		}
-		f.pf.LockRMW()
-		cover := make([]byte, hi-lo)
+		// Lock exactly the read-modify-write window: sieving writers to
+		// disjoint windows proceed in parallel.
+		f.pf.LockRMW(lo, hi-lo)
+		cover := bufpool.GetDirty(int(hi - lo))
+		release := func() {
+			bufpool.Put(cover)
+			f.pf.UnlockRMW(lo, hi-lo)
+		}
 		if err := f.doPF(func(t float64) (float64, error) {
 			return f.pf.ReadAt(t, cover, lo)
 		}); err != nil {
-			f.pf.UnlockRMW()
+			release()
 			return err
 		}
 		wanted := int64(0)
@@ -143,10 +152,10 @@ func (f *File) sieveWrite(segs []pfs.Segment, buf []byte) error {
 		if err := f.doPF(func(t float64) (float64, error) {
 			return f.pf.WriteAt(t, cover, lo)
 		}); err != nil {
-			f.pf.UnlockRMW()
+			release()
 			return err
 		}
-		f.pf.UnlockRMW()
+		release()
 		f.st.Add(iostat.IOSieveRMW, 1)
 		f.st.Add(iostat.IOSieveWriteAmpBytes, (hi-lo)-wanted)
 		i = j

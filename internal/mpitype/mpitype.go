@@ -74,7 +74,19 @@ func FromSegments(segs []Segment, extent int64) (Datatype, error) {
 			cleaned = append(cleaned, s)
 		}
 	}
-	sort.Slice(cleaned, func(i, j int) bool { return cleaned[i].Off < cleaned[j].Off })
+	// Constructors generate ascending segments; skip the sort when input is
+	// already ordered (the common case) so building large flattened views
+	// stays linear.
+	ordered := true
+	for i := 1; i < len(cleaned); i++ {
+		if cleaned[i].Off < cleaned[i-1].Off {
+			ordered = false
+			break
+		}
+	}
+	if !ordered {
+		sort.Slice(cleaned, func(i, j int) bool { return cleaned[i].Off < cleaned[j].Off })
+	}
 	var merged []Segment
 	var size int64
 	for _, s := range cleaned {
@@ -136,16 +148,13 @@ func Hvector(count, blocklen, strideUnits int64, base Datatype) (Datatype, error
 }
 
 // tile places blocklen back-to-back base instances at displacements
-// 0, blockStride, 2*blockStride, ...
+// 0, blockStride, 2*blockStride, ... Adjacent runs merge as they are
+// generated (via Tiled), so a vector of a contiguous base flattens to one
+// segment per block — not one per element.
 func tile(count, blockStride, blocklen int64, base Datatype) (Datatype, error) {
 	var segs []Segment
 	for i := int64(0); i < count; i++ {
-		disp := i * blockStride
-		for j := int64(0); j < blocklen; j++ {
-			for _, s := range base.segs {
-				segs = append(segs, Segment{Off: disp + j*base.extent + s.Off, Len: s.Len})
-			}
-		}
+		segs = base.Tiled(segs, i*blockStride, blocklen)
 	}
 	extent := int64(0)
 	if count > 0 {
@@ -164,11 +173,7 @@ func Indexed(blocklens, displs []int64, base Datatype) (Datatype, error) {
 	extent := int64(0)
 	for i := range blocklens {
 		disp := displs[i] * base.extent
-		for j := int64(0); j < blocklens[i]; j++ {
-			for _, s := range base.segs {
-				segs = append(segs, Segment{Off: disp + j*base.extent + s.Off, Len: s.Len})
-			}
-		}
+		segs = base.Tiled(segs, disp, blocklens[i])
 		if end := disp + blocklens[i]*base.extent; end > extent {
 			extent = end
 		}
@@ -185,11 +190,7 @@ func Hindexed(blocklens, displsUnits []int64, base Datatype) (Datatype, error) {
 	var segs []Segment
 	extent := int64(0)
 	for i := range blocklens {
-		for j := int64(0); j < blocklens[i]; j++ {
-			for _, s := range base.segs {
-				segs = append(segs, Segment{Off: displsUnits[i] + j*base.extent + s.Off, Len: s.Len})
-			}
-		}
+		segs = base.Tiled(segs, displsUnits[i], blocklens[i])
 		if end := displsUnits[i] + blocklens[i]*base.extent; end > extent {
 			extent = end
 		}

@@ -1,0 +1,98 @@
+package netcdf
+
+import (
+	"testing"
+
+	"pnetcdf/internal/nctype"
+)
+
+// Allocation regression tests for the contiguous read/write fast path: data
+// packs and unpacks through pooled external buffers, so steady state is a
+// small constant number of allocations (request bookkeeping plus the pool's
+// slice-header box) and a few hundred bytes — NOT proportional to the
+// payload. The byte pins are what catch a reintroduced per-call buffer or
+// gathered intermediate: one 256 KiB make is a single allocation but blows
+// the byte budget immediately.
+
+const allocVarElems = 64 << 10
+
+func newAllocDataset(t *testing.T) (*Dataset, int) {
+	t.Helper()
+	store := &MemStore{}
+	d, err := Create(store, nctype.Clobber)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dimID, err := d.DefDim("x", allocVarElems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	varID, err := d.DefVar("v", nctype.Float, []int{dimID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EndDef(); err != nil {
+		t.Fatal(err)
+	}
+	return d, varID
+}
+
+func TestAllocsContigPut(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; byte pins do not hold")
+	}
+	d, varID := newAllocDataset(t)
+	buf := make([]float32, allocVarElems)
+	for i := range buf {
+		buf[i] = float32(i)
+	}
+	if err := d.PutVar(varID, buf); err != nil { // warm pool and view cache
+		t.Fatal(err)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := d.PutVar(varID, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	t.Logf("contig put: %d allocs/op, %d B/op", res.AllocsPerOp(), res.AllocedBytesPerOp())
+	if res.AllocsPerOp() > 20 {
+		t.Errorf("contiguous put allocates %d/op, want <= 20", res.AllocsPerOp())
+	}
+	if res.AllocedBytesPerOp() > 4096 {
+		t.Errorf("contiguous put allocates %d B/op, want <= 4096 (payload is %d B)",
+			res.AllocedBytesPerOp(), allocVarElems*4)
+	}
+}
+
+func TestAllocsContigGet(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; byte pins do not hold")
+	}
+	d, varID := newAllocDataset(t)
+	buf := make([]float32, allocVarElems)
+	if err := d.PutVar(varID, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.GetVar(varID, buf); err != nil {
+		t.Fatal(err)
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := d.GetVar(varID, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	t.Logf("contig get: %d allocs/op, %d B/op", res.AllocsPerOp(), res.AllocedBytesPerOp())
+	if res.AllocsPerOp() > 20 {
+		t.Errorf("contiguous get allocates %d/op, want <= 20", res.AllocsPerOp())
+	}
+	if res.AllocedBytesPerOp() > 4096 {
+		t.Errorf("contiguous get allocates %d B/op, want <= 4096 (payload is %d B)",
+			res.AllocedBytesPerOp(), allocVarElems*4)
+	}
+}

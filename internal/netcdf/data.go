@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pnetcdf/internal/access"
+	"pnetcdf/internal/bufpool"
 	"pnetcdf/internal/cdf"
 	"pnetcdf/internal/mpitype"
 	"pnetcdf/internal/nctype"
@@ -180,6 +181,21 @@ func ScatterAny(src any, segs []mpitype.Segment, dst any) error {
 	return fmt.Errorf("%w: %T", nctype.ErrTypeMismatch, src)
 }
 
+// PackFlex appends the external representation of the elements selected by
+// memsegs (element units) from data to dst: the pack half of every
+// flexible/imap access, shared by the serial and parallel libraries. The
+// conversion runs run-length over the flattened typemap — one encode pass
+// per contiguous run, no gathered intermediate.
+func PackFlex(dst []byte, t nctype.Type, data any, memsegs []mpitype.Segment) ([]byte, error) {
+	return cdf.EncodeSegs(dst, t, data, memsegs)
+}
+
+// UnpackFlex decodes external bytes and scatters the values into the
+// positions selected by memsegs within data — the inverse of PackFlex.
+func UnpackFlex(src []byte, t nctype.Type, memsegs []mpitype.Segment, data any) error {
+	return cdf.DecodeSegs(src, t, memsegs, data)
+}
+
 // --- Data access functions (category 5) ---
 
 // PutVara writes a whole subarray: the (start, count) access method.
@@ -297,16 +313,21 @@ func (d *Dataset) put(varid int, start, count, stride, imap []int64, data any) e
 	if err != nil {
 		return err
 	}
-	var linear any
+	// Pack straight from user memory into a pooled external buffer; strided
+	// (imap) memory converts run-length over the flattened typemap.
+	ext := bufpool.GetDirty(int(req.NElems) * v.Type.Size())[:0]
+	defer func() { bufpool.Put(ext) }()
+	var encErr error
 	if imap == nil {
+		var linear any
 		linear, err = SliceHead(data, req.NElems)
+		if err != nil {
+			return err
+		}
+		ext, encErr = cdf.EncodeSlice(ext, v.Type, linear)
 	} else {
-		linear, err = GatherAny(data, memsegs)
+		ext, encErr = PackFlex(ext, v.Type, data, memsegs)
 	}
-	if err != nil {
-		return err
-	}
-	ext, encErr := cdf.EncodeSlice(nil, v.Type, linear)
 	if encErr != nil && encErr != cdf.ErrRange {
 		return encErr
 	}
@@ -341,7 +362,9 @@ func (d *Dataset) get(varid int, start, count, stride, imap []int64, data any) e
 		return err
 	}
 	segs := access.FileSegments(d.hdr, v, req)
-	ext := make([]byte, req.NElems*int64(v.Type.Size()))
+	// Pooled and dirty: the segment reads fill every byte.
+	ext := bufpool.GetDirty(int(req.NElems) * v.Type.Size())
+	defer bufpool.Put(ext)
 	pos := int64(0)
 	for _, s := range segs {
 		if err := d.cache.ReadAt(ext[pos:pos+s.Len], s.Off); err != nil {
@@ -360,14 +383,7 @@ func (d *Dataset) get(varid int, start, count, stride, imap []int64, data any) e
 	if err != nil {
 		return err
 	}
-	tmp, err := MakeLike(data, req.NElems)
-	if err != nil {
-		return err
-	}
-	if err := cdf.DecodeSlice(ext, v.Type, tmp); err != nil {
-		return err
-	}
-	return ScatterAny(tmp, memsegs, data)
+	return UnpackFlex(ext, v.Type, memsegs, data)
 }
 
 // growRecords extends NumRecs to n, prefilling the new records when fill

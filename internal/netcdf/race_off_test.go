@@ -1,0 +1,5 @@
+//go:build !race
+
+package netcdf
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package netcdf
+
+// Under the race detector sync.Pool deliberately drops a fraction of Put
+// items to widen interleaving coverage, so pooled-buffer byte pins do not
+// hold; the alloc regression tests skip themselves.
+const raceEnabled = true

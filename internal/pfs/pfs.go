@@ -21,6 +21,13 @@
 //
 // The cost model is the substitution for the paper's physical disk arrays
 // (DESIGN.md §2); all libraries above it move real bytes.
+//
+// The data plane is built not to convoy: the file table is behind an
+// RWMutex, chunk data behind per-file lock shards (store.go), and the
+// vectored entry points ReadVec/WriteVec accept an iovec so callers hand
+// their round buffers down without a coalescing copy. Only the cost model's
+// server queues (srvMu) are a single lock, because they model a genuinely
+// shared resource.
 package pfs
 
 import (
@@ -100,7 +107,10 @@ const chunkSize = 256 << 10
 type FS struct {
 	cfg Config
 
-	mu    sync.Mutex
+	// mu guards the name -> file table. Lookups (Open, Exists) take the
+	// read side so concurrent rank goroutines opening handles do not
+	// serialize; only Create/Remove take the write side.
+	mu    sync.RWMutex
 	files map[string]*fileData
 
 	srvMu sync.Mutex
@@ -111,11 +121,9 @@ type FS struct {
 }
 
 type fileData struct {
-	name string
-	mu   sync.Mutex
-	size int64
-	data map[int64][]byte // chunk index -> chunk
-	rmw  sync.Mutex       // read-modify-write lock for data sieving writes
+	name  string
+	store chunkStore
+	rmw   rangeLock // read-modify-write range lock for data sieving writes
 }
 
 // New creates a file system with the given configuration.
@@ -181,7 +189,7 @@ func (f *File) SetStats(s *iostat.Stats, t *iostat.Trace, rank int) {
 // Create opens name, truncating it to zero length, and charges OpenCost.
 func (fs *FS) Create(name string, t float64) (*File, float64) {
 	fs.mu.Lock()
-	fd := &fileData{name: name, data: map[int64][]byte{}}
+	fd := &fileData{name: name}
 	fs.files[name] = fd
 	fs.mu.Unlock()
 	return &File{fs: fs, fd: fd}, t + fs.cfg.OpenCost
@@ -189,9 +197,9 @@ func (fs *FS) Create(name string, t float64) (*File, float64) {
 
 // Open opens an existing file and charges OpenCost.
 func (fs *FS) Open(name string, t float64) (*File, float64, error) {
-	fs.mu.Lock()
+	fs.mu.RLock()
 	fd := fs.files[name]
-	fs.mu.Unlock()
+	fs.mu.RUnlock()
 	if fd == nil {
 		return nil, t, fmt.Errorf("pfs: open %s: no such file", name)
 	}
@@ -200,8 +208,8 @@ func (fs *FS) Open(name string, t float64) (*File, float64, error) {
 
 // Exists reports whether name exists.
 func (fs *FS) Exists(name string) bool {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	return fs.files[name] != nil
 }
 
@@ -218,8 +226,8 @@ func (fs *FS) Remove(name string) error {
 
 // Names returns all file names, sorted.
 func (fs *FS) Names() []string {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
 	var out []string
 	for n := range fs.files {
 		out = append(out, n)
@@ -242,104 +250,45 @@ func (fs *FS) ResetClock() {
 func (f *File) Name() string { return f.fd.name }
 
 // Size returns the file's current size in bytes.
-func (f *File) Size() int64 {
-	f.fd.mu.Lock()
-	defer f.fd.mu.Unlock()
-	return f.fd.size
-}
+func (f *File) Size() int64 { return f.fd.store.size.Load() }
 
 // Truncate sets the file size, discarding data beyond it.
-func (f *File) Truncate(size int64) {
-	f.fd.mu.Lock()
-	defer f.fd.mu.Unlock()
-	if size < f.fd.size {
-		first := size / chunkSize
-		for idx := range f.fd.data {
-			if idx > first {
-				delete(f.fd.data, idx)
-			}
-		}
-		if c, ok := f.fd.data[first]; ok {
-			for i := size % chunkSize; i < chunkSize; i++ {
-				c[i] = 0
-			}
-		}
-	}
-	f.fd.size = size
-}
+func (f *File) Truncate(size int64) { f.fd.store.truncate(size) }
 
-// LockRMW acquires the file's read-modify-write lock. ROMIO-style data
-// sieving writes take it around their read/modify/write sequence so
-// concurrent sieving writers do not lose updates.
-func (f *File) LockRMW() { f.fd.rmw.Lock() }
+// LockRMW acquires the file's read-modify-write range lock over
+// [off, off+n). ROMIO-style data sieving writes take it around their
+// read/modify/write window so concurrent sieving writers to overlapping
+// regions do not lose updates; writers to disjoint windows proceed in
+// parallel.
+func (f *File) LockRMW(off, n int64) { f.fd.rmw.lock(off, n) }
 
-// UnlockRMW releases the read-modify-write lock.
-func (f *File) UnlockRMW() { f.fd.rmw.Unlock() }
-
-// storeWrite copies p into the chunk store at off.
-func (fd *fileData) storeWrite(p []byte, off int64, discard bool) {
-	fd.mu.Lock()
-	defer fd.mu.Unlock()
-	if off+int64(len(p)) > fd.size {
-		fd.size = off + int64(len(p))
-	}
-	if discard {
-		return
-	}
-	for len(p) > 0 {
-		idx := off / chunkSize
-		cOff := off % chunkSize
-		n := chunkSize - cOff
-		if n > int64(len(p)) {
-			n = int64(len(p))
-		}
-		c := fd.data[idx]
-		if c == nil {
-			c = make([]byte, chunkSize)
-			fd.data[idx] = c
-		}
-		copy(c[cOff:cOff+n], p[:n])
-		p = p[n:]
-		off += n
-	}
-}
-
-// storeRead fills p from the chunk store at off; holes and bytes beyond EOF
-// read as zero.
-func (fd *fileData) storeRead(p []byte, off int64) {
-	fd.mu.Lock()
-	defer fd.mu.Unlock()
-	for len(p) > 0 {
-		idx := off / chunkSize
-		cOff := off % chunkSize
-		n := chunkSize - cOff
-		if n > int64(len(p)) {
-			n = int64(len(p))
-		}
-		if c := fd.data[idx]; c != nil {
-			copy(p[:n], c[cOff:cOff+n])
-		} else {
-			for i := int64(0); i < n; i++ {
-				p[i] = 0
-			}
-		}
-		p = p[n:]
-		off += n
-	}
-}
+// UnlockRMW releases a range claimed with LockRMW (same off and n).
+func (f *File) UnlockRMW(off, n int64) { f.fd.rmw.unlock(off, n) }
 
 // WriteAt writes p at off, issued at virtual time t, and returns the
 // completion time. Errors are injected faults: fault.IsTransient errors may
 // clear on a re-issue (writes are idempotent — re-issuing rewrites the full
 // range), others are permanent.
 func (f *File) WriteAt(t float64, p []byte, off int64) (float64, error) {
-	return f.WriteV(t, []Segment{{Off: off, Len: int64(len(p))}}, p)
+	return f.WriteVec(t, []Segment{{Off: off, Len: int64(len(p))}}, [][]byte{p})
 }
 
 // ReadAt reads len(p) bytes at off, issued at virtual time t, and returns
 // the completion time.
 func (f *File) ReadAt(t float64, p []byte, off int64) (float64, error) {
-	return f.ReadV(t, []Segment{{Off: off, Len: int64(len(p))}}, p)
+	return f.ReadVec(t, []Segment{{Off: off, Len: int64(len(p))}}, [][]byte{p})
+}
+
+// WriteV writes the segments, taking consecutive bytes from src, as one
+// request batch.
+func (f *File) WriteV(t float64, segs []Segment, src []byte) (float64, error) {
+	return f.WriteVec(t, segs, [][]byte{src})
+}
+
+// ReadV reads the segments into consecutive bytes of dst as one request
+// batch.
+func (f *File) ReadV(t float64, segs []Segment, dst []byte) (float64, error) {
+	return f.ReadVec(t, segs, [][]byte{dst})
 }
 
 // inject consults the file system's injector for one request batch and
@@ -353,25 +302,62 @@ func (f *File) inject(op fault.Op, segs []Segment, total int64) fault.Outcome {
 	return f.fs.inj.Decide(f.rank, op, off, total)
 }
 
-// WriteV writes the segments, taking consecutive bytes from src, as one
-// request batch. Segments should be sorted and non-overlapping; the cost
-// model charges one seek per (merged) extent per server.
+// iovTotal sums an iovec's byte count.
+func iovTotal(iov [][]byte) int64 {
+	var n int64
+	for _, p := range iov {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// iovCursor walks an iovec as one logical byte stream.
+type iovCursor struct {
+	iov []([]byte)
+	i   int // current iovec entry
+	pos int // consumed bytes within entry i
+}
+
+// next returns the longest contiguous piece available at the cursor, at most
+// n bytes, and advances past it.
+func (c *iovCursor) next(n int64) []byte {
+	for c.i < len(c.iov) && c.pos == len(c.iov[c.i]) {
+		c.i++
+		c.pos = 0
+	}
+	p := c.iov[c.i][c.pos:]
+	if int64(len(p)) > n {
+		p = p[:n]
+	}
+	c.pos += len(p)
+	return p
+}
+
+// WriteVec writes the segments, taking consecutive bytes from the iovec, as
+// one request batch. Segments should be sorted and non-overlapping; the cost
+// model charges one seek per (merged) extent per server, identically to an
+// equivalent WriteV — the iovec only removes the caller's coalescing copy.
+// The iovec's total length must equal the segments' total length; entry
+// boundaries need not align with segment boundaries.
 //
 // Under fault injection a transient error leaves an injector-chosen prefix
 // of the payload on disk (the bytes that moved before the request died); a
 // re-issue of the identical request is safe and rewrites the full range. An
 // armed crash point keeps only the bytes before the crash byte, optionally
 // truncates the file, and fails permanently with fault.ErrCrashed.
-func (f *File) WriteV(t float64, segs []Segment, src []byte) (float64, error) {
+func (f *File) WriteVec(t float64, segs []Segment, iov [][]byte) (float64, error) {
 	var total int64
 	for _, s := range segs {
 		total += s.Len
+	}
+	if n := iovTotal(iov); n != total {
+		return t, fmt.Errorf("pfs: writevec iovec holds %d bytes, segments need %d", n, total)
 	}
 	if f.fs.inj != nil {
 		out := f.inject(fault.OpWrite, segs, total)
 		t += out.Delay
 		if out.Err != nil {
-			f.applyWritePrefix(segs, src, out)
+			f.applyWritePrefix(segs, iov, out)
 			if out.TruncateTo >= 0 {
 				f.Truncate(out.TruncateTo)
 			}
@@ -382,43 +368,74 @@ func (f *File) WriteV(t float64, segs []Segment, src []byte) (float64, error) {
 			f.stats.Add(iostat.PfsFaultsInjected, 1)
 		}
 	}
-	pos := int64(0)
-	for _, s := range segs {
-		discard := f.fs.cfg.Discard && s.Len >= f.fs.cfg.DiscardThreshold
-		f.fd.storeWrite(src[pos:pos+s.Len], s.Off, discard)
-		pos += s.Len
-	}
+	f.storeWriteVec(segs, iov, total)
 	done, extents := f.fs.charge(t, segs, false, f.stats)
 	f.record(iostat.PfsWriteCalls, iostat.PfsBytesWritten, iostat.PfsWriteExtents,
-		"write", t, done, segs, pos, extents)
+		"write", t, done, segs, total, extents)
 	return done, nil
+}
+
+// storeWriteVec lands the full payload: each segment takes the next bytes of
+// the iovec, split into at most chunk-sized pieces by the cursor.
+func (f *File) storeWriteVec(segs []Segment, iov [][]byte, total int64) {
+	cur := iovCursor{iov: iov}
+	for _, s := range segs {
+		discard := f.fs.cfg.Discard && s.Len >= f.fs.cfg.DiscardThreshold
+		off := s.Off
+		for remain := s.Len; remain > 0; {
+			p := cur.next(remain)
+			f.fd.store.writeAt(p, off, discard)
+			off += int64(len(p))
+			remain -= int64(len(p))
+		}
+	}
+	_ = total
 }
 
 // applyWritePrefix stores the partial payload a faulted write leaves
 // behind. For a crash the cut is by absolute file offset (out.N bytes past
 // the first segment's start); for a transient error it is the first out.N
-// payload bytes.
-func (f *File) applyWritePrefix(segs []Segment, src []byte, out fault.Outcome) {
+// payload bytes. Within an affected segment the prefix lands byte-exact.
+func (f *File) applyWritePrefix(segs []Segment, iov [][]byte, out fault.Outcome) {
 	remain := out.N
-	pos := int64(0)
+	cur := iovCursor{iov: iov}
 	for _, s := range segs {
 		if remain <= 0 {
-			break
+			return
 		}
-		k := min64(s.Len, remain)
 		discard := f.fs.cfg.Discard && s.Len >= f.fs.cfg.DiscardThreshold
-		f.fd.storeWrite(src[pos:pos+k], s.Off, discard)
-		pos += s.Len
-		remain -= k
+		off := s.Off
+		segRemain := s.Len
+		for segRemain > 0 {
+			p := cur.next(segRemain)
+			if int64(len(p)) > remain {
+				p = p[:remain]
+			}
+			if len(p) > 0 {
+				f.fd.store.writeAt(p, off, discard)
+			}
+			off += int64(len(p))
+			segRemain -= int64(len(p))
+			remain -= int64(len(p))
+			if remain <= 0 {
+				// Skip the rest of this segment in the cursor before
+				// returning (nothing left to land anywhere).
+				return
+			}
+		}
 	}
 }
 
-// ReadV reads the segments into consecutive bytes of dst as one request
-// batch.
-func (f *File) ReadV(t float64, segs []Segment, dst []byte) (float64, error) {
+// ReadVec reads the segments into consecutive bytes of the iovec as one
+// request batch. The iovec's total length must equal the segments' total
+// length; entry boundaries need not align with segment boundaries.
+func (f *File) ReadVec(t float64, segs []Segment, iov [][]byte) (float64, error) {
 	var total int64
 	for _, s := range segs {
 		total += s.Len
+	}
+	if n := iovTotal(iov); n != total {
+		return t, fmt.Errorf("pfs: readvec iovec holds %d bytes, segments need %d", n, total)
 	}
 	if f.fs.inj != nil {
 		out := f.inject(fault.OpRead, segs, total)
@@ -431,14 +448,19 @@ func (f *File) ReadV(t float64, segs []Segment, dst []byte) (float64, error) {
 			f.stats.Add(iostat.PfsFaultsInjected, 1)
 		}
 	}
-	pos := int64(0)
+	cur := iovCursor{iov: iov}
 	for _, s := range segs {
-		f.fd.storeRead(dst[pos:pos+s.Len], s.Off)
-		pos += s.Len
+		off := s.Off
+		for remain := s.Len; remain > 0; {
+			p := cur.next(remain)
+			f.fd.store.readAt(p, off)
+			off += int64(len(p))
+			remain -= int64(len(p))
+		}
 	}
 	done, extents := f.fs.charge(t, segs, true, f.stats)
 	f.record(iostat.PfsReadCalls, iostat.PfsBytesRead, iostat.PfsReadExtents,
-		"read", t, done, segs, pos, extents)
+		"read", t, done, segs, total, extents)
 	return done, nil
 }
 
@@ -491,9 +513,10 @@ func (fs *FS) charge(t float64, segs []Segment, read bool, st *iostat.Stats) (fl
 	for _, s := range segs {
 		total += s.Len
 	}
-	merged := merge(segs)
+	nMerged := 0
 	if total == 0 {
-		return t + cfg.NetLatency, len(merged)
+		forEachMerged(segs, func(Segment) { nMerged++ })
+		return t + cfg.NetLatency, nMerged
 	}
 	// Per-server extent counts and byte totals; for writes, also the
 	// distinct partially-covered stripe blocks, which cost a
@@ -502,9 +525,10 @@ func (fs *FS) charge(t float64, segs []Segment, read bool, st *iostat.Stats) (fl
 	extents := make([]int64, cfg.NumServers)
 	bytes := make([]int64, cfg.NumServers)
 	rmwBlocks := map[int64]bool{}
-	for _, s := range merged {
+	forEachMerged(segs, func(s Segment) {
+		nMerged++
 		if s.Len == 0 {
-			continue
+			return
 		}
 		first := s.Off / cfg.StripeSize
 		last := (s.Off + s.Len - 1) / cfg.StripeSize
@@ -531,7 +555,7 @@ func (fs *FS) charge(t float64, segs []Segment, read bool, st *iostat.Stats) (fl
 			}
 			bytes[srv] += b
 		}
-	}
+	})
 	// Charge each partial block's read-before-write to its server.
 	rmwExtra := make([]float64, cfg.NumServers)
 	for blk := range rmwBlocks {
@@ -586,29 +610,48 @@ func (fs *FS) charge(t float64, segs []Segment, read bool, st *iostat.Stats) (fl
 			}
 		}
 	}
-	return complete + cfg.NetLatency, len(merged)
+	return complete + cfg.NetLatency, nMerged
 }
 
-// merge coalesces sorted, adjacent or overlapping segments so the seek
-// charge reflects true discontiguity.
+// forEachMerged visits the coalesced extents of segs (adjacent or
+// overlapping segments merged) so the seek charge reflects true
+// discontiguity. The common case — callers pass sorted segments — streams
+// with no allocation; unsorted input falls back to a sorted copy.
+func forEachMerged(segs []Segment, fn func(Segment)) {
+	if len(segs) == 0 {
+		return
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Off < segs[i-1].Off {
+			sorted := make([]Segment, len(segs))
+			copy(sorted, segs)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i].Off < sorted[j].Off })
+			segs = sorted
+			break
+		}
+	}
+	cur := segs[0]
+	for _, s := range segs[1:] {
+		if s.Off <= cur.Off+cur.Len {
+			if end := s.Off + s.Len; end > cur.Off+cur.Len {
+				cur.Len = end - cur.Off
+			}
+		} else {
+			fn(cur)
+			cur = s
+		}
+	}
+	fn(cur)
+}
+
+// merge coalesces sorted, adjacent or overlapping segments; retained for
+// tests and callers that need the materialized list.
 func merge(segs []Segment) []Segment {
 	if len(segs) <= 1 {
 		return segs
 	}
-	sorted := make([]Segment, len(segs))
-	copy(sorted, segs)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Off < sorted[j].Off })
-	out := sorted[:1]
-	for _, s := range sorted[1:] {
-		last := &out[len(out)-1]
-		if s.Off <= last.Off+last.Len {
-			if end := s.Off + s.Len; end > last.Off+last.Len {
-				last.Len = end - last.Off
-			}
-		} else {
-			out = append(out, s)
-		}
-	}
+	out := make([]Segment, 0, len(segs))
+	forEachMerged(segs, func(s Segment) { out = append(out, s) })
 	return out
 }
 

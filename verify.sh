@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
 # Repo verification: build, vet, race-test. The default pass includes the
-# FuzzDecode seed corpus (run as regular tests by go test). Opt-in passes:
-#   BENCH=1  run the FLASH I/O benchmark with statistics and emit
+# FuzzDecode seed corpus (run as regular tests by go test) and the
+# concurrent sharded-lock PFS stress test under the race detector
+# (TestConcurrentShardedStress). Opt-in passes:
+#   BENCH=1  smoke-run every benchmark once (catches bit-rotted bench code),
+#            then run the FLASH I/O benchmark with statistics and emit
 #            results/BENCH_flashio.json (slower; not part of the gate).
 #   FAULT=1  re-run the fault-injection suites under the race detector and
 #            drive a FLASH checkpoint at a 1% transient fault rate with a
@@ -16,6 +19,7 @@ go test -race ./...
 
 if [ "${BENCH:-0}" = "1" ]; then
     mkdir -p results
+    go test -run '^$' -bench . -benchtime 1x ./...
     go run ./cmd/flashio-bench -block 8 -files checkpoint -procs 4,8 \
         -stats -json results/BENCH_flashio.json
 fi
