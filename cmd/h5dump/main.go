@@ -16,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -36,13 +37,12 @@ func main() {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		fmt.Println("HDF5-sim container \"demo.h5\" {")
 		if err := walk(f, "/", 0); err != nil {
-			return err
+			return errors.Join(err, f.Close())
 		}
 		fmt.Println("}")
-		return nil
+		return f.Close()
 	})
 	cmdutil.Fatal("h5dump", err)
 }
@@ -118,13 +118,13 @@ func walk(f *h5sim.File, path string, depth int) error {
 			case nctype.Double:
 				buf := make([]float64, n)
 				if err := ds.ReadAll(sel, nil, buf); err != nil {
-					return err
+					return errors.Join(err, ds.Close())
 				}
 				fmt.Printf("%s   DATA %v\n", indent, buf)
 			case nctype.Int:
 				buf := make([]int32, n)
 				if err := ds.ReadAll(sel, nil, buf); err != nil {
-					return err
+					return errors.Join(err, ds.Close())
 				}
 				fmt.Printf("%s   DATA %v\n", indent, buf)
 			}
@@ -132,7 +132,9 @@ func walk(f *h5sim.File, path string, depth int) error {
 		if _, v, err := ds.GetAttr("units"); err == nil {
 			fmt.Printf("%s   ATTRIBUTE units = %q\n", indent, string(v.([]byte)))
 		}
-		ds.Close()
+		if err := ds.Close(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -35,12 +36,12 @@ func main() {
 	cmdutil.Fatal("nccopy", run(flag.Arg(0), flag.Arg(1)))
 }
 
-func run(inPath, outPath string) error {
+func run(inPath, outPath string) (err error) {
 	in, err := os.Open(inPath)
 	if err != nil {
 		return err
 	}
-	defer in.Close()
+	defer func() { err = errors.Join(err, in.Close()) }()
 	src, err := netcdf.Open(netcdf.OSStore{F: in}, nctype.NoWrite)
 	if err != nil {
 		return err

@@ -33,11 +33,11 @@ func main() {
 	path := flag.Arg(0)
 	f, err := os.Open(path)
 	cmdutil.Fatal("ncdump", err)
-	defer f.Close()
 	d, err := netcdf.Open(netcdf.OSStore{F: f}, nctype.NoWrite)
 	cmdutil.Fatal("ncdump", err)
 	err = dump(os.Stdout, d, strings.TrimSuffix(filepath.Base(path), ".nc"), !*headerOnly)
 	cmdutil.Fatal("ncdump", err)
+	cmdutil.Fatal("ncdump", f.Close())
 }
 
 func dump(w *os.File, d *netcdf.Dataset, name string, withData bool) error {

@@ -1,0 +1,66 @@
+// nclint runs the project's static-analysis suite (internal/analysis) over
+// the module: collective-call symmetry, pfs lock ordering, bufpool Get/Put
+// discipline, pfs cost-model accounting, and unchecked I/O teardown errors.
+// It exits 1 when any diagnostic is reported, so verify.sh can gate on it.
+//
+// Usage:
+//
+//	nclint [-c checker,checker] [-list] [packages]
+//
+// Package patterns are accepted for interface-compatibility with go vet
+// (`nclint ./...`) but the tool always analyzes the whole module containing
+// the working directory: the invariants it checks are cross-package ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pnetcdf/internal/analysis"
+	"pnetcdf/internal/cmdutil"
+)
+
+func main() {
+	const tool = "nclint"
+	var (
+		checkers = flag.String("c", "", "comma-separated checker names to run (default: all)")
+		list     = flag.Bool("list", false, "list available checkers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range analysis.All() {
+			fmt.Printf("%-12s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+
+	suite, err := analysis.ByName(*checkers)
+	if err != nil {
+		cmdutil.Usagef("%s: %v", tool, err)
+	}
+
+	wd, err := os.Getwd()
+	cmdutil.Fatal(tool, err)
+	root, err := analysis.FindModuleRoot(wd)
+	cmdutil.Fatal(tool, err)
+	loader, err := analysis.NewLoader(root)
+	cmdutil.Fatal(tool, err)
+	pkgs, err := loader.LoadModule()
+	cmdutil.Fatal(tool, err)
+
+	diags := analysis.RunCheckers(pkgs, suite)
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(wd, file); err == nil && len(rel) < len(file) {
+			file = rel
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", file, d.Pos.Line, d.Checker, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "%s: %d diagnostic(s)\n", tool, len(diags))
+		os.Exit(1)
+	}
+}

@@ -41,9 +41,9 @@ func main() {
 	}
 	f, err := os.Open(flag.Arg(0))
 	cmdutil.Fatal(tool, err)
-	defer f.Close()
 	events, err := iostat.ReadJSONL(f)
 	cmdutil.Fatal(tool, err)
+	cmdutil.Fatal(tool, f.Close())
 	if *layer != "" {
 		kept := events[:0]
 		for _, e := range events {

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Accounting guards the pfs cost-model and iostat invariants: every
+// exported pfs entry point that moves bytes through the chunk store must
+// also charge the virtual-time cost model (FS.charge) and record iostat
+// counters, so a new fast path cannot return data "for free" and silently
+// skew every simulated bandwidth number built on top (the paper's Figure
+// 6/7 reproductions all flow through these charges).
+//
+// The check builds the package-internal static call graph and, for each
+// exported function or method, asks: does it reach a chunk-store access
+// (chunkStore.writeAt/readAt/truncate)? If so it must also reach FS.charge
+// AND an iostat recording call (File.record or Stats.Add/AddTime).
+// Metadata-only operations that legitimately skip charging carry a
+// justified //nclint:allow=accounting annotation on the declaration.
+func Accounting() *Checker {
+	return &Checker{
+		Name: "accounting",
+		Doc:  "pfs data paths that touch the chunk store must charge the cost model and iostat",
+		Run:  runAccounting,
+	}
+}
+
+func runAccounting(pass *Pass) {
+	if pass.Pkg.Name != "pfs" {
+		return
+	}
+	type node struct {
+		decl    *ast.FuncDecl
+		calls   map[*types.Func]bool
+		touches bool // direct chunk-store access
+		charges bool // direct FS.charge call
+		records bool // direct iostat recording
+	}
+	nodes := map[*types.Func]*node{}
+
+	funcOf := func(decl *ast.FuncDecl) *types.Func {
+		obj, _ := pass.Pkg.Info.Defs[decl.Name].(*types.Func)
+		return obj
+	}
+
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			fn := funcOf(decl)
+			if fn == nil {
+				continue
+			}
+			nd := &node{decl: decl, calls: map[*types.Func]bool{}}
+			nodes[fn] = nd
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := pass.Callee(call)
+				if callee == nil {
+					return true
+				}
+				switch {
+				case isMethodOn(callee, "pfs", "chunkStore", "writeAt", "readAt", "truncate"):
+					nd.touches = true
+				case isMethodOn(callee, "pfs", "FS", "charge"):
+					nd.charges = true
+				case isMethodOn(callee, "pfs", "File", "record"):
+					nd.records = true
+				case callee.Pkg() != nil && callee.Pkg().Name() == "iostat" &&
+					(callee.Name() == "Add" || callee.Name() == "AddTime"):
+					nd.records = true
+				}
+				if callee.Pkg() != nil && callee.Pkg().Path() == pass.Pkg.Path {
+					nd.calls[callee] = true
+				}
+				return true
+			})
+		}
+	}
+
+	// reaches computes whether fn transitively satisfies pred.
+	type predFn func(*node) bool
+	reaches := func(start *types.Func, pred predFn) bool {
+		seen := map[*types.Func]bool{}
+		var visit func(fn *types.Func) bool
+		visit = func(fn *types.Func) bool {
+			if seen[fn] {
+				return false
+			}
+			seen[fn] = true
+			nd := nodes[fn]
+			if nd == nil {
+				return false
+			}
+			if pred(nd) {
+				return true
+			}
+			for callee := range nd.calls {
+				if visit(callee) {
+					return true
+				}
+			}
+			return false
+		}
+		return visit(start)
+	}
+
+	for fn, nd := range nodes {
+		if !ast.IsExported(fn.Name()) {
+			continue
+		}
+		if !reaches(fn, func(n *node) bool { return n.touches }) {
+			continue
+		}
+		if !reaches(fn, func(n *node) bool { return n.charges }) {
+			pass.Reportf(nd.decl.Name.Pos(),
+				"%s touches the chunk store but never charges the cost model (FS.charge): data moved for free skews every simulated bandwidth number", fn.Name())
+		}
+		if !reaches(fn, func(n *node) bool { return n.records }) {
+			pass.Reportf(nd.decl.Name.Pos(),
+				"%s touches the chunk store but records no iostat counters (File.record / Stats.Add)", fn.Name())
+		}
+	}
+}
+
+// isMethodOn reports whether fn is a method named one of names on the type
+// pkgName.typeName.
+func isMethodOn(fn *types.Func, pkgName, typeName string, names ...string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != pkgName || named.Obj().Name() != typeName {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// exportedIONames matches the error-returning teardown/flush calls the
+// errcheckio checker audits.
+func isIOErrorName(name string) bool {
+	return name == "Close" || name == "Sync" || name == "Flush" || strings.HasPrefix(name, "Write")
+}

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+// The golden-file convention: a fixture line that should produce a
+// diagnostic carries a trailing comment
+//
+//	// want `regexp` `another regexp`
+//
+// with one backtick-quoted regexp per expected diagnostic on that line. The
+// harness fails on any diagnostic without a matching want AND on any want
+// without a matching diagnostic — so every golden test fails outright if its
+// checker is disabled or stops firing.
+
+var (
+	loaderOnce sync.Once
+	loaderVal  *Loader
+	loaderErr  error
+)
+
+// sharedLoader builds one Loader for the whole test binary: the source
+// importer re-type-checks stdlib dependencies from GOROOT, which is worth
+// paying once, not per test.
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loaderVal, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return loaderVal
+}
+
+type wantSpec struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var (
+	wantLineRE = regexp.MustCompile(`// want (.*)$`)
+	wantArgRE  = regexp.MustCompile("`([^`]+)`")
+)
+
+func parseWants(t *testing.T, pkg *Package) []wantSpec {
+	t.Helper()
+	var wants []wantSpec
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantLineRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Fatalf("%s:%d: malformed want comment (need backtick-quoted regexps): %s",
+						pos.Filename, pos.Line, c.Text)
+				}
+				for _, a := range args {
+					re, err := regexp.Compile(a[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, a[1], err)
+					}
+					wants = append(wants, wantSpec{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden loads testdata/src/<fixture>, runs the single named checker, and
+// matches the diagnostics against the fixture's want comments.
+func runGolden(t *testing.T, checkerName, fixture string) {
+	t.Helper()
+	l := sharedLoader(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir("fixture/"+fixture, dir)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", fixture, err)
+	}
+	checkers, err := ByName(checkerName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunCheckers([]*Package{pkg}, checkers)
+	wants := parseWants(t, pkg)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		found := false
+		for i, w := range wants {
+			if !matched[i] && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: missing diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestCollSymGolden(t *testing.T)    { runGolden(t, "collsym", "collsym") }
+func TestLockOrderGolden(t *testing.T)  { runGolden(t, "lockorder", "lockorder") }
+func TestBufPoolGolden(t *testing.T)    { runGolden(t, "bufpool", "bufpool") }
+func TestAccountingGolden(t *testing.T) { runGolden(t, "accounting", "accounting") }
+func TestErrCheckIOGolden(t *testing.T) { runGolden(t, "errcheckio", "errcheckio") }
+
+// TestRepoClean is the self-check: the suite must report nothing on the
+// repository itself, so a PR that introduces a violation (or a checker
+// change that misfires on existing code) fails here before verify.sh runs
+// nclint.
+func TestRepoClean(t *testing.T) {
+	l := sharedLoader(t)
+	pkgs, err := l.LoadModule()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	for _, d := range RunCheckers(pkgs, All()) {
+		t.Errorf("repo not nclint-clean: %s", d)
+	}
+}
+
+// TestByNameUnknown pins the driver-facing error for a typo'd -c flag.
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("collsym,nosuch"); err == nil {
+		t.Fatal("ByName accepted an unknown checker name")
+	}
+	cs, err := ByName("lockorder")
+	if err != nil || len(cs) != 1 || cs[0].Name != "lockorder" {
+		t.Fatalf("ByName(lockorder) = %v, %v", cs, err)
+	}
+}
+
+// TestSuppressionNeedsJustification pins that a bare //nclint:allow without
+// the `-- reason` part does NOT suppress (the regexp requires it).
+func TestSuppressionNeedsJustification(t *testing.T) {
+	pkg := &Package{
+		allows: map[string][]allow{},
+	}
+	if pkg.suppressed("collsym", mkPos("x.go", 10)) {
+		t.Fatal("empty allow table suppressed a diagnostic")
+	}
+	pkg.allows["x.go"] = []allow{{line: 9, checkers: "collsym,lockorder"}}
+	if !pkg.suppressed("collsym", mkPos("x.go", 10)) {
+		t.Fatal("line-above allow did not suppress")
+	}
+	if !pkg.suppressed("lockorder", mkPos("x.go", 9)) {
+		t.Fatal("same-line allow did not suppress")
+	}
+	if pkg.suppressed("bufpool", mkPos("x.go", 10)) {
+		t.Fatal("allow for other checkers suppressed bufpool")
+	}
+	if pkg.suppressed("collsym", mkPos("x.go", 12)) {
+		t.Fatal("allow two lines up suppressed")
+	}
+}
+
+func mkPos(file string, line int) token.Position {
+	return token.Position{Filename: file, Line: line}
+}

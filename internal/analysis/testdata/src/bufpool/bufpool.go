@@ -1,0 +1,75 @@
+// Package fix is the golden fixture for the bufpool Get/Put discipline
+// checker, calling the real pnetcdf/internal/bufpool.
+package fix
+
+import (
+	"errors"
+
+	"pnetcdf/internal/bufpool"
+)
+
+var errTooBig = errors.New("too big")
+
+func use(b []byte) {}
+
+// pairedDirect, pairedDefer and pairedReleaseClosure are the three blessed
+// shapes.
+func pairedDirect(n int) {
+	b := bufpool.Get(n)
+	use(b)
+	bufpool.Put(b)
+}
+
+func pairedDefer(n int) {
+	b := bufpool.GetDirty(n)
+	defer bufpool.Put(b)
+	use(b)
+}
+
+func pairedReleaseClosure(n int) {
+	b := bufpool.Get(n)
+	release := func() { bufpool.Put(b) }
+	use(b)
+	release()
+}
+
+// droppedOnEarlyReturn loses the buffer on the error path only.
+func droppedOnEarlyReturn(n int) error {
+	b := bufpool.Get(n)
+	if n > 4096 {
+		return errTooBig // want `bufpool buffer b reaches return without bufpool\.Put`
+	}
+	bufpool.Put(b)
+	return nil
+}
+
+// droppedAtEnd falls off the function with the buffer live.
+func droppedAtEnd(n int) {
+	b := bufpool.Get(n)
+	use(b)
+} // want `bufpool buffer b reaches function end without bufpool\.Put`
+
+// returnedUnannotated hands the buffer to the caller with no escape note.
+func returnedUnannotated(n int) []byte {
+	return bufpool.Get(n) // want `returned to the caller`
+}
+
+// returnedAnnotated is the documented escape.
+func returnedAnnotated(n int) []byte {
+	//nclint:escape -- fixture: the caller is documented to Put the buffer back
+	return bufpool.Get(n)
+}
+
+// namedEscape returns a tracked local.
+func namedEscape(n int) []byte {
+	b := bufpool.Get(n)
+	return b // want `bufpool buffer b is returned to the caller`
+}
+
+type holder struct{ buf []byte }
+
+// storedEscape parks the buffer in a longer-lived structure.
+func storedEscape(h *holder, n int) {
+	b := bufpool.Get(n)
+	h.buf = b // want `stored outside the function's locals`
+}

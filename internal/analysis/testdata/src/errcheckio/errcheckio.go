@@ -1,0 +1,46 @@
+// Package fix is the golden fixture for the errcheckio checker.
+package fix
+
+import (
+	"bytes"
+	"os"
+	"strings"
+)
+
+func teardownLeaks(f *os.File) {
+	f.Close()      // want `Close's error from a bare call is discarded`
+	defer f.Sync() // want `Sync's error from a deferred call is discarded`
+}
+
+func goLeak(f *os.File) {
+	go f.Sync() // want `Sync's error from a go statement is discarded`
+}
+
+func writeLeak(f *os.File) {
+	f.WriteString("x") // want `WriteString's error from a bare call is discarded`
+}
+
+// explicitDiscard is a visible, reviewable discard and is allowed.
+func explicitDiscard(f *os.File) {
+	_ = f.Close()
+}
+
+// handled is the normal shape.
+func handled(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// inMemoryExempt: bytes.Buffer and strings.Builder writes are documented to
+// never fail, so checking them is noise.
+func inMemoryExempt(b *bytes.Buffer, sb *strings.Builder) {
+	b.WriteString("ok")
+	sb.WriteByte('x')
+}
+
+// suppressedTeardown shows the annotation escape hatch.
+func suppressedTeardown(f *os.File) {
+	f.Close() //nclint:allow=errcheckio -- fixture: read-only descriptor, close cannot lose data
+}

@@ -1,0 +1,72 @@
+// Package pfs is a miniature of internal/pfs's lock topology — same package
+// name, type names and mutex field names — so the lockorder checker's
+// classifier assigns the same four lock classes it uses on the real code.
+package pfs
+
+import "sync"
+
+type FS struct {
+	mu    sync.RWMutex
+	srvMu sync.Mutex
+}
+
+type storeShard struct{ mu sync.Mutex }
+
+type File struct{}
+
+func (f *File) LockRMW(off, n int64)   {}
+func (f *File) UnlockRMW(off, n int64) {}
+
+// ordered follows the documented order: file-table -> shard -> server.
+func ordered(fs *FS, sh *storeShard) {
+	fs.mu.RLock()
+	sh.mu.Lock()
+	sh.mu.Unlock()
+	fs.mu.RUnlock()
+	fs.srvMu.Lock()
+	fs.srvMu.Unlock()
+}
+
+// inverted acquires a shard lock while holding the server-queue lock.
+func inverted(fs *FS, sh *storeShard) {
+	fs.srvMu.Lock()
+	sh.mu.Lock() // want `acquires chunk shard lock \(storeShard\.mu\) while holding server-queue lock \(FS\.srvMu\)`
+	sh.mu.Unlock()
+	fs.srvMu.Unlock()
+}
+
+// rmwAfterShard takes the range lock under a shard lock: classes 3 -> 2.
+func rmwAfterShard(f *File, sh *storeShard) {
+	sh.mu.Lock()
+	f.LockRMW(0, 8) // want `acquires RMW range lock while holding chunk shard lock`
+	f.UnlockRMW(0, 8)
+	sh.mu.Unlock()
+}
+
+// unpaired holds the file-table lock past every exit.
+func unpaired(fs *FS) {
+	fs.mu.Lock() // want `fs\.mu\.Lock with no matching Unlock in this function`
+}
+
+// pairedByDefer is the normal pattern.
+func pairedByDefer(fs *FS) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+}
+
+// pairedByReleaseClosure is the sieveWrite release() pattern: the unlock
+// lives in a local closure called on every exit path.
+func pairedByReleaseClosure(fs *FS) {
+	fs.mu.Lock()
+	release := func() { fs.mu.Unlock() }
+	release()
+}
+
+// handoff is the justified exception: the companion function unlocks.
+func handoff(fs *FS) {
+	fs.mu.Lock() //nclint:allow=lockorder -- fixture: handoffDone releases; callers must pair the two
+}
+
+func handoffDone(fs *FS) {
+	fs.mu.Unlock()
+}

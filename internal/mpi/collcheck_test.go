@@ -1,0 +1,76 @@
+package mpi
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestCollCheckDetectsDesync deliberately desynchronizes two ranks — rank 0
+// enters a Bcast while rank 1 enters a Barrier — and asserts the runtime
+// sequence assertion turns what would be a hang or silent message mixup into
+// an error naming both operations. (nclint's collsym checker would flag this
+// shape in non-test code; the runtime check is its complement for call
+// orders no static analysis can see.)
+func TestCollCheckDetectsDesync(t *testing.T) {
+	t.Setenv(collCheckEnv, "1")
+	err := Run(2, DefaultNet(), func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Bcast(0, []byte("hdr"))
+		} else {
+			c.Barrier()
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("desynchronized collectives completed without error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "collective sequence mismatch") {
+		t.Fatalf("error is not a sequence mismatch: %v", msg)
+	}
+	if !strings.Contains(msg, "Bcast") || !strings.Contains(msg, "Barrier") {
+		t.Fatalf("mismatch error does not name both ops: %v", msg)
+	}
+}
+
+// TestCollCheckMatchedSequences runs a representative mix of collectives —
+// including composed ones (Allreduce = Reduce + Bcast) and collectives on a
+// Split sub-communicator — with checking enabled, asserting the registry
+// stays silent and drains itself when ranks agree.
+func TestCollCheckMatchedSequences(t *testing.T) {
+	t.Setenv(collCheckEnv, "1")
+	err := Run(4, DefaultNet(), func(c *Comm) error {
+		c.Barrier()
+		sum := c.AllreduceI64([]int64{int64(c.Rank())}, OpSum)
+		if sum[0] != 6 {
+			return fmt.Errorf("allreduce sum = %d, want 6", sum[0])
+		}
+		sub := c.Split(c.Rank()%2, c.Rank())
+		sub.Barrier()
+		if got := sub.AllreduceI64([]int64{1}, OpSum); got[0] != 2 {
+			return fmt.Errorf("sub allreduce = %d, want 2", got[0])
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("matched collective sequences failed: %v", err)
+	}
+}
+
+// TestCollCheckDisabledByDefault pins that without the environment variable
+// no registry is allocated, so the default path stays zero-cost.
+func TestCollCheckDisabledByDefault(t *testing.T) {
+	t.Setenv(collCheckEnv, "")
+	err := Run(2, DefaultNet(), func(c *Comm) error {
+		if c.world.ccheck != nil {
+			return fmt.Errorf("collective check enabled without %s=1", collCheckEnv)
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

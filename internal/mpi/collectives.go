@@ -20,7 +20,7 @@ const (
 // Implemented as a binomial fan-in to rank 0 followed by a fan-out, so its
 // virtual-time cost is ~2*ceil(log2(p)) message latencies.
 func (c *Comm) Barrier() {
-	ctx := c.nextOpCtx()
+	ctx := c.nextOpCtx("Barrier")
 	c.fanIn(0, ctx, nil)
 	c.fanOut(0, ctx, nil)
 }
@@ -92,7 +92,7 @@ func (c *Comm) fanOut(root int, ctx int64, data []byte) []byte {
 // copy, like MPI_Bcast. Non-root callers pass nil (or anything; it is
 // replaced by the root's payload).
 func (c *Comm) Bcast(root int, data []byte) []byte {
-	ctx := c.nextOpCtx()
+	ctx := c.nextOpCtx("Bcast")
 	return c.fanOut(root, ctx, data)
 }
 
@@ -100,7 +100,7 @@ func (c *Comm) Bcast(root int, data []byte) []byte {
 // may differ in length). The root receives a slice indexed by rank; other
 // ranks receive nil.
 func (c *Comm) Gather(root int, data []byte) [][]byte {
-	ctx := c.nextOpCtx()
+	ctx := c.nextOpCtx("Gather")
 	if c.rank != root {
 		c.send(root, tagData, ctx, data)
 		return nil
@@ -125,7 +125,7 @@ func (c *Comm) Allgather(data []byte) [][]byte {
 // Scatter distributes parts[i] from root to rank i, like MPI_Scatterv.
 // Non-root callers pass nil.
 func (c *Comm) Scatter(root int, parts [][]byte) []byte {
-	ctx := c.nextOpCtx()
+	ctx := c.nextOpCtx("Scatter")
 	if c.rank == root {
 		if len(parts) != c.Size() {
 			c.Abort(fmt.Errorf("mpi: Scatter with %d parts on %d ranks", len(parts), c.Size()))
@@ -146,7 +146,7 @@ func (c *Comm) Alltoall(parts [][]byte) [][]byte {
 	if len(parts) != c.Size() {
 		c.Abort(fmt.Errorf("mpi: Alltoall with %d parts on %d ranks", len(parts), c.Size()))
 	}
-	ctx := c.nextOpCtx()
+	ctx := c.nextOpCtx("Alltoall")
 	out := make([][]byte, c.Size())
 	out[c.rank] = append([]byte(nil), parts[c.rank]...)
 	for r := 0; r < c.Size(); r++ {
@@ -213,7 +213,7 @@ func reduceF64(op Op, a, b float64) float64 {
 // ReduceI64 reduces elementwise int64 vectors to root, like MPI_Reduce.
 // Non-roots receive nil. All members must pass equal-length vectors.
 func (c *Comm) ReduceI64(root int, vals []int64, op Op) []int64 {
-	ctx := c.nextOpCtx()
+	ctx := c.nextOpCtx("ReduceI64")
 	res := c.fanIn(root, ctx, func(local, child []byte) []byte {
 		if local == nil && child == nil {
 			return EncodeI64s(vals)
@@ -241,7 +241,7 @@ func (c *Comm) AllreduceI64(vals []int64, op Op) []int64 {
 // order follows the binomial tree deterministically, so results are
 // reproducible run to run.
 func (c *Comm) ReduceF64(root int, vals []float64, op Op) []float64 {
-	ctx := c.nextOpCtx()
+	ctx := c.nextOpCtx("ReduceF64")
 	res := c.fanIn(root, ctx, func(local, child []byte) []byte {
 		if local == nil && child == nil {
 			return EncodeF64s(vals)
@@ -268,7 +268,7 @@ func (c *Comm) AllreduceF64(vals []float64, op Op) []float64 {
 // reduction of ranks 0..r-1 (identity on rank 0), like MPI_Exscan with a
 // linear chain. Used for computing record offsets when appending.
 func (c *Comm) ExscanI64(vals []int64, op Op) []int64 {
-	ctx := c.nextOpCtx()
+	ctx := c.nextOpCtx("ExscanI64")
 	acc := make([]int64, len(vals))
 	if op == OpMin {
 		for i := range acc {

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"sync"
 
 	"pnetcdf/internal/iostat"
@@ -81,6 +82,10 @@ type World struct {
 	mu       sync.Mutex
 	abortErr error
 	commSeq  int64
+
+	// ccheck is the collective-sequence registry; nil unless
+	// PNETCDF_CHECK_COLLECTIVES=1 (see collcheck.go).
+	ccheck *collCheck
 }
 
 // ErrAborted is returned by operations on a world where some rank called
@@ -152,6 +157,9 @@ func Run(n int, net NetConfig, fn func(*Comm) error) error {
 		return fmt.Errorf("mpi: invalid world size %d", n)
 	}
 	w := &World{size: n, net: net, boxes: make([]*mailbox, n)}
+	if os.Getenv(collCheckEnv) == "1" {
+		w.ccheck = newCollCheck()
+	}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 	}
@@ -304,15 +312,22 @@ func (c *Comm) Sendrecv(dst, sendTag int, sendData []byte, src, recvTag int) ([]
 	return c.Recv(src, recvTag)
 }
 
-// nextOpCtx reserves the message context for one collective operation.
-// All ranks call collectives on a communicator in the same order (an MPI
+// nextOpCtx reserves the message context for one collective operation named
+// op. All ranks call collectives on a communicator in the same order (an MPI
 // requirement), so the per-rank sequence counters stay in lockstep. The
 // low 32 bits hold the sequence, the high bits the communicator ID, keeping
 // collective traffic apart from user point-to-point traffic (sequence 0).
-func (c *Comm) nextOpCtx() int64 {
+// Under PNETCDF_CHECK_COLLECTIVES=1 the (context, op) pair is registered in
+// the world's sequence registry, which aborts on a cross-rank mismatch
+// instead of letting the run deadlock (collcheck.go).
+func (c *Comm) nextOpCtx(op string) int64 {
 	c.seq++
 	c.proc.stats.Add(iostat.MPICollectives, 1)
-	return c.ctx | (c.seq & 0x7FFFFFFF)
+	ctx := c.ctx | (c.seq & 0x7FFFFFFF)
+	if cc := c.world.ccheck; cc != nil {
+		cc.record(c, ctx, op)
+	}
+	return ctx
 }
 
 // newCommID allocates a world-unique communicator ID on rank 0 of c and

@@ -194,6 +194,7 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 						for _, rq := range reqs {
 							total += rq.len
 						}
+						//nclint:escape -- reply buffers travel through the reply exchange; recycleRound(replies, back) puts them, and the error path below puts them before bailing
 						out := bufpool.GetDirty(int(total))[:0]
 						for _, rq := range reqs {
 							out = append(out, cov.extract(rq.off, rq.len)...)
@@ -212,6 +213,10 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 		// aggregator has no data to send back, so all ranks must learn of
 		// the failure here or the reply exchange would hang.
 		if err := f.comm.AgreeError(roundErr); err != nil {
+			// A peer failed after this aggregator built its replies: the
+			// reply exchange never runs, so the reply buffers must go back
+			// to the pool here (leak found by nclint's bufpool checker).
+			recycleRound(replies, nil, f.comm.Rank())
 			return f.agreeAbort(err)
 		}
 		back := sparseExchange(f.comm, replies, collTagBase+round)
@@ -442,6 +447,7 @@ func encodeWriteMsg(reqs []reqSeg, buf []byte) []byte {
 	for _, r := range reqs {
 		total += r.len
 	}
+	//nclint:escape -- the encoded message is the exchange payload; every round ends with recycleRound putting both the local parts and the received blobs
 	msg := bufpool.GetDirty(8 + 16*len(reqs) + int(total))
 	binary.BigEndian.PutUint64(msg, uint64(len(reqs)))
 	p := 8
@@ -502,6 +508,7 @@ func assembleWriteVec(entries []writeEntry) ([]pfs.Segment, [][]byte) {
 }
 
 func encodeReadMsg(reqs []reqSeg) []byte {
+	//nclint:escape -- the encoded request is the exchange payload; recycleRound puts it at the end of its round
 	msg := bufpool.GetDirty(8 + 16*len(reqs))
 	binary.BigEndian.PutUint64(msg, uint64(len(reqs)))
 	p := 8

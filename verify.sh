@@ -1,8 +1,11 @@
 #!/usr/bin/env sh
-# Repo verification: build, vet, race-test. The default pass includes the
-# FuzzDecode seed corpus (run as regular tests by go test) and the
+# Repo verification: build, vet, lint, race-test. The default pass includes
+# the FuzzDecode seed corpus (run as regular tests by go test), the
 # concurrent sharded-lock PFS stress test under the race detector
-# (TestConcurrentShardedStress). Opt-in passes:
+# (TestConcurrentShardedStress), and the nclint invariant suite
+# (internal/analysis, DESIGN.md §10) over every package; any diagnostic
+# fails the gate. Toggles:
+#   LINT=0   skip the nclint pass (escape hatch while iterating).
 #   BENCH=1  smoke-run every benchmark once (catches bit-rotted bench code),
 #            then run the FLASH I/O benchmark with statistics and emit
 #            results/BENCH_flashio.json (slower; not part of the gate).
@@ -15,6 +18,9 @@ cd "$(dirname "$0")"
 
 go build ./...
 go vet ./...
+if [ "${LINT:-1}" = "1" ]; then
+    go run ./cmd/nclint ./...
+fi
 go test -race ./...
 
 if [ "${BENCH:-0}" = "1" ]; then

@@ -80,7 +80,7 @@ func BenchmarkUnpackSubarray(b *testing.B) {
 // BenchmarkPackContig is the contiguous-memory pack (the high-level API's
 // path): pure element conversion, no gather.
 func BenchmarkPackContig(b *testing.B) {
-	src := make([]float32, 64 << 10)
+	src := make([]float32, 64<<10)
 	b.SetBytes(int64(len(src)) * 4)
 	b.ReportAllocs()
 	b.ResetTimer()
