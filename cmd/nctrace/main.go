@@ -1,14 +1,25 @@
-// Command nctrace summarizes a JSON-lines I/O trace produced by the
-// benchmarks' -trace flag (see internal/iostat): per-layer operation
-// counts, a request-size histogram, the per-rank timeline, and — given the
-// file system geometry — the per-server load split that explains
-// flattening bandwidth curves.
+// Command nctrace inspects the two trace artifacts the benchmarks emit.
+//
+// Given a JSON-lines I/O event trace (the -trace flag, see internal/iostat)
+// it prints per-layer operation counts, a request-size histogram, the
+// per-rank timeline, and — given the file system geometry — the per-server
+// load split that explains flattening bandwidth curves.
+//
+// Given a Chrome trace-event span file (the -span-out flag, see
+// internal/span; the same file loads in Perfetto), the subcommands analyze
+// the collective pipeline:
+//
+//	nctrace timeline spans.json    # per-rank span tree
+//	nctrace critical spans.json    # which rank+phase bounded each round
+//	nctrace imbalance spans.json   # per-phase rank load spread
 //
 // Usage:
 //
-//	nctrace trace.jsonl                      # summary
+//	nctrace trace.jsonl                      # event-trace summary
 //	nctrace -servers 12 -stripe 262144 t.jsonl   # add per-server load
 //	nctrace -layer pfs t.jsonl              # restrict to one layer
+//	nctrace -rank 3 timeline spans.json     # one rank's span tree
+//	nctrace -buckets 8 imbalance spans.json # histogram resolution
 package main
 
 import (
@@ -21,6 +32,7 @@ import (
 
 	"pnetcdf/internal/cmdutil"
 	"pnetcdf/internal/iostat"
+	"pnetcdf/internal/span"
 )
 
 const tool = "nctrace"
@@ -29,21 +41,47 @@ var (
 	servers = flag.Int("servers", 0, "I/O server count for per-server load (0 = skip)")
 	stripe  = flag.Int64("stripe", 256<<10, "stripe size in bytes for per-server load")
 	layer   = flag.String("layer", "", "restrict the summary to one layer (pfs, mpiio, pnetcdf)")
+	rank    = flag.Int("rank", -1, "timeline: restrict to one rank (-1 = all)")
+	buckets = flag.Int("buckets", 6, "imbalance: histogram bucket count")
 )
+
+const usage = "usage: nctrace [flags] trace.jsonl\n" +
+	"       nctrace [flags] {timeline|critical|imbalance} spans.json"
 
 func main() {
 	flag.Parse()
-	if flag.NArg() != 1 {
-		cmdutil.Usagef("usage: nctrace [-servers N] [-stripe BYTES] [-layer L] trace.jsonl")
-	}
 	if *stripe < 1 {
 		cmdutil.Usagef("nctrace: -stripe must be positive")
 	}
-	f, err := os.Open(flag.Arg(0))
+	args := flag.Args()
+	if len(args) == 2 {
+		switch args[0] {
+		case "timeline", "critical", "imbalance":
+			spans, dropped := readSpans(args[1])
+			warnSpanDropped(dropped)
+			switch args[0] {
+			case "timeline":
+				spanTimeline(spans, *rank)
+			case "critical":
+				spanCritical(spans)
+			case "imbalance":
+				spanImbalance(spans, *buckets)
+			}
+			return
+		}
+	}
+	if len(args) != 1 {
+		cmdutil.Usagef(usage)
+	}
+	f, err := os.Open(args[0])
 	cmdutil.Fatal(tool, err)
 	events, err := iostat.ReadJSONL(f)
 	cmdutil.Fatal(tool, err)
 	cmdutil.Fatal(tool, f.Close())
+	events, dropped := iostat.SplitMeta(events)
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "%s: WARNING: the trace ring overwrote %d events — this trace is INCOMPLETE\n", tool, dropped)
+	}
 	if *layer != "" {
 		kept := events[:0]
 		for _, e := range events {
@@ -63,6 +101,148 @@ func main() {
 	rankTimeline(events)
 	if *servers > 0 {
 		serverLoad(events, *servers, *stripe)
+	}
+}
+
+// readSpans loads a Chrome trace-event span file (-span-out output).
+func readSpans(path string) ([]span.Span, int64) {
+	f, err := os.Open(path)
+	cmdutil.Fatal(tool, err)
+	spans, dropped, err := span.ReadChromeTrace(f)
+	cmdutil.Fatal(tool, err)
+	cmdutil.Fatal(tool, f.Close())
+	return spans, dropped
+}
+
+func warnSpanDropped(dropped int64) {
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "%s: WARNING: the span recorder dropped %d spans — this trace is INCOMPLETE; raise the span capacity or sample\n", tool, dropped)
+	}
+}
+
+// spanTimeline prints each rank's span tree in start order, indented by
+// nesting depth — the textual form of what Perfetto draws.
+func spanTimeline(spans []span.Span, only int) {
+	if len(spans) == 0 {
+		fmt.Println("no spans")
+		return
+	}
+	byRank := map[int][]span.Span{}
+	for _, s := range spans {
+		byRank[s.Rank] = append(byRank[s.Rank], s)
+	}
+	ranks := make([]int, 0, len(byRank))
+	for r := range byRank {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		if only >= 0 && r != only {
+			continue
+		}
+		rs := byRank[r]
+		depth := map[int64]int{}
+		byID := map[int64]span.Span{}
+		for _, s := range rs {
+			byID[s.ID] = s
+		}
+		var depthOf func(id int64) int
+		depthOf = func(id int64) int {
+			if d, ok := depth[id]; ok {
+				return d
+			}
+			s := byID[id]
+			d := 0
+			if s.Parent != 0 {
+				if _, ok := byID[s.Parent]; ok {
+					d = depthOf(s.Parent) + 1
+				}
+			}
+			depth[id] = d
+			return d
+		}
+		sort.Slice(rs, func(i, j int) bool {
+			if rs[i].Start != rs[j].Start {
+				return rs[i].Start < rs[j].Start
+			}
+			return rs[i].ID < rs[j].ID
+		})
+		fmt.Printf("rank %d (%d spans)\n", r, len(rs))
+		for _, s := range rs {
+			pad := ""
+			for i := 0; i < depthOf(s.ID); i++ {
+				pad += "  "
+			}
+			extra := ""
+			if s.Round >= 0 {
+				extra += fmt.Sprintf(" round=%d", s.Round)
+			}
+			if s.Bytes > 0 {
+				extra += fmt.Sprintf(" bytes=%d", s.Bytes)
+			}
+			fmt.Printf("  %12.6f %10.6f  %s%s%s\n", s.Start, s.Dur(), pad, s.Phase, extra)
+		}
+		fmt.Println()
+	}
+}
+
+// spanCritical prints the per-round critical path: which rank, doing what,
+// set the pace of each two-phase round.
+func spanCritical(spans []span.Span) {
+	rounds := span.CriticalPath(spans)
+	if len(rounds) == 0 {
+		fmt.Println("no collective rounds in trace")
+		return
+	}
+	fmt.Printf("critical path (%d rounds)\n", len(rounds))
+	fmt.Printf("  %4s %5s   %-10s %4s %12s %12s %8s\n",
+		"coll", "round", "phase", "rank", "work(s)", "mean(s)", "spread")
+	for _, rc := range rounds {
+		fmt.Printf("  %4d %5d   %-10s %4d %12.6f %12.6f %7.2fx\n",
+			rc.Coll, rc.Round, rc.Phase, rc.Rank, rc.Work, rc.Mean, rc.Spread())
+	}
+	fmt.Println()
+	counts := span.BoundCounts(rounds)
+	ranks := make([]int, 0, len(counts))
+	for r := range counts {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	fmt.Println("rounds bounded per rank (the straggler census)")
+	for _, r := range ranks {
+		fmt.Printf("  rank %3d  %4d/%d %s\n", r, counts[r], len(rounds), barString(40*counts[r]/len(rounds)))
+	}
+}
+
+// spanImbalance prints per-phase rank load: who spent how long in each
+// phase, the max/mean imbalance factor, and a load histogram.
+func spanImbalance(spans []span.Span, nbuckets int) {
+	if nbuckets < 1 {
+		nbuckets = 1
+	}
+	loads := span.AllLoads(spans)
+	if len(loads) == 0 {
+		fmt.Println("no spans")
+		return
+	}
+	fmt.Println("per-phase rank load (seconds in phase, most imbalanced first)")
+	for _, l := range loads {
+		fmt.Printf("\n  %-12s calls=%d bytes=%d\n", l.Phase, l.Calls, l.Bytes)
+		fmt.Printf("    min=%.6f mean=%.6f max=%.6f (rank %d)  imbalance=%.3fx\n",
+			l.Min, l.Mean, l.Max, l.MaxRank, l.Imbalance())
+		counts, labels := l.Histogram(nbuckets)
+		maxC := 0
+		for _, c := range counts {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		if maxC == 0 {
+			continue
+		}
+		for i, c := range counts {
+			fmt.Printf("    %-24s %4d %s\n", labels[i], c, barString(30*c/maxC))
+		}
 	}
 }
 

@@ -99,6 +99,7 @@ func All() []*Checker {
 		CollSym(),
 		LockOrder(),
 		BufPool(),
+		SpanPair(),
 		Accounting(),
 		ErrCheckIO(),
 	}

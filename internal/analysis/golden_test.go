@@ -126,6 +126,7 @@ func runGolden(t *testing.T, checkerName, fixture string) {
 func TestCollSymGolden(t *testing.T)    { runGolden(t, "collsym", "collsym") }
 func TestLockOrderGolden(t *testing.T)  { runGolden(t, "lockorder", "lockorder") }
 func TestBufPoolGolden(t *testing.T)    { runGolden(t, "bufpool", "bufpool") }
+func TestSpanPairGolden(t *testing.T)   { runGolden(t, "spanpair", "spanpair") }
 func TestAccountingGolden(t *testing.T) { runGolden(t, "accounting", "accounting") }
 func TestErrCheckIOGolden(t *testing.T) { runGolden(t, "errcheckio", "errcheckio") }
 

@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanPair enforces the span lifecycle discipline of DESIGN.md §11: every
+// span handle obtained from span.Recorder.Begin must reach an End() on
+// every return path of the acquiring function — directly, or via a defer
+// (the blessed shape; End is idempotent and closes descendants, so one
+// deferred End makes a whole function crash-safe). A Begin whose handle is
+// never ended leaves the span open in the recorder: its duration is
+// clamped to zero in snapshots and the critical-path analysis silently
+// loses the phase, which is exactly the kind of rot an instrumented error
+// path develops.
+//
+// A handle that deliberately outlives the function (stored for a later
+// End, the cross-call round pattern) must be suppressed at the Begin site
+// with a justified //nclint:allow=spanpair annotation.
+func SpanPair() *Checker {
+	return &Checker{
+		Name: "spanpair",
+		Doc:  "span Begin handles must reach End() on all return paths (defer is the blessed shape)",
+		Run:  runSpanPair,
+	}
+}
+
+func runSpanPair(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkSpanFunc(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkSpanFunc(pass, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// isSpanMethod reports whether call invokes the named method of the span
+// package (Recorder.Begin, Active.End, ...).
+func isSpanMethod(pass *Pass, call *ast.CallExpr, name string) bool {
+	fn := pass.Callee(call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Name() == "span" && fn.Name() == name
+}
+
+// beginCallIn unwraps parens around a span Begin call.
+func beginCallIn(pass *Pass, e ast.Expr) *ast.CallExpr {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok && isSpanMethod(pass, call, "Begin") {
+		return call
+	}
+	return nil
+}
+
+// endRecvObj resolves the local whose End method a call invokes, or nil.
+func endRecvObj(pass *Pass, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.Pkg.Info.ObjectOf(id)
+}
+
+// spanState is the set of open (not yet ended) span handles along one path.
+type spanState map[types.Object]bool
+
+func (s spanState) clone() spanState {
+	c := spanState{}
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+type spanAnalysis struct {
+	pass     *Pass
+	deferred map[types.Object]bool // ended at every return
+	reported map[types.Object]bool
+}
+
+func checkSpanFunc(pass *Pass, body *ast.BlockStmt) {
+	a := &spanAnalysis{
+		pass:     pass,
+		deferred: map[types.Object]bool{},
+		reported: map[types.Object]bool{},
+	}
+	end, terminated := a.flow(body.List, spanState{})
+	if !terminated {
+		a.reportOpen(end, body.Rbrace, "function end")
+	}
+}
+
+// flow walks stmts in order, returning the fall-through state and whether
+// every path through stmts terminated (returned) before falling through.
+func (a *spanAnalysis) flow(stmts []ast.Stmt, open spanState) (spanState, bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			a.assign(s, open)
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for i, val := range vs.Values {
+							if i < len(vs.Names) {
+								a.trackValue(vs.Names[i], val, open)
+							}
+						}
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			a.exprStmt(s.X, open)
+		case *ast.DeferStmt:
+			if isSpanMethod(a.pass, s.Call, "End") {
+				if obj := endRecvObj(a.pass, s.Call); obj != nil {
+					a.deferred[obj] = true
+				}
+			} else if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok && isSpanMethod(a.pass, call, "End") {
+						if obj := endRecvObj(a.pass, call); obj != nil {
+							a.deferred[obj] = true
+						}
+					}
+					return true
+				})
+			}
+		case *ast.ReturnStmt:
+			a.reportOpen(open, s.Pos(), "return")
+			return open, true
+		case *ast.IfStmt:
+			thenState, thenTerm := a.flow(s.Body.List, open.clone())
+			var elseState spanState
+			elseTerm := false
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				elseState, elseTerm = a.flow(e.List, open.clone())
+			case *ast.IfStmt:
+				elseState, elseTerm = a.flow([]ast.Stmt{e}, open.clone())
+			default:
+				elseState = open.clone()
+			}
+			if thenTerm && elseTerm {
+				return open, true
+			}
+			merged := spanState{}
+			if !thenTerm {
+				for k := range thenState {
+					merged[k] = true
+				}
+			}
+			if !elseTerm {
+				for k := range elseState {
+					merged[k] = true
+				}
+			}
+			open = merged
+		case *ast.BlockStmt:
+			var term bool
+			open, term = a.flow(s.List, open)
+			if term {
+				return open, true
+			}
+		case *ast.ForStmt:
+			// A span begun and ended inside the body is balanced per
+			// iteration; one still open after the body's fall-through edge
+			// carries into the merged state.
+			bodyState, _ := a.flow(s.Body.List, open.clone())
+			for k := range bodyState {
+				open[k] = true
+			}
+		case *ast.RangeStmt:
+			bodyState, _ := a.flow(s.Body.List, open.clone())
+			for k := range bodyState {
+				open[k] = true
+			}
+		case *ast.SwitchStmt:
+			a.caseFlow(stmtClauses(s.Body), open)
+		case *ast.TypeSwitchStmt:
+			a.caseFlow(stmtClauses(s.Body), open)
+		case *ast.SelectStmt:
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					st, _ := a.flow(cc.Body, open.clone())
+					for k := range st {
+						open[k] = true
+					}
+				}
+			}
+		case *ast.LabeledStmt:
+			var term bool
+			open, term = a.flow([]ast.Stmt{s.Stmt}, open)
+			if term {
+				return open, true
+			}
+		}
+	}
+	return open, false
+}
+
+func (a *spanAnalysis) caseFlow(clauses []*ast.CaseClause, open spanState) {
+	for _, cc := range clauses {
+		st, _ := a.flow(cc.Body, open.clone())
+		for k := range st {
+			open[k] = true
+		}
+	}
+}
+
+// assign handles x := rec.Begin(...) and rebindings.
+func (a *spanAnalysis) assign(s *ast.AssignStmt, open spanState) {
+	for i, rhs := range s.Rhs {
+		if i >= len(s.Lhs) {
+			break
+		}
+		if id, ok := s.Lhs[i].(*ast.Ident); ok {
+			a.trackValue(id, rhs, open)
+			continue
+		}
+		// Stored into a field or element: the handle outlives this scope,
+		// which needs a justified allow at the Begin site.
+		if call := beginCallIn(a.pass, rhs); call != nil {
+			a.pass.Reportf(call.Pos(), "span.Begin handle is stored outside the function's locals; End it locally or suppress with //nclint:allow=spanpair -- <who ends it>")
+		}
+	}
+}
+
+// trackValue processes `id = value`: a Begin call starts tracking; handing
+// the handle to a second name moves the obligation.
+func (a *spanAnalysis) trackValue(id *ast.Ident, value ast.Expr, open spanState) {
+	if call := beginCallIn(a.pass, value); call != nil {
+		if obj := a.pass.Pkg.Info.ObjectOf(id); obj != nil {
+			open[obj] = true
+		} else {
+			// `_ = rec.Begin(...)`: the handle is unreachable.
+			a.pass.Reportf(call.Pos(), "span.Begin result is discarded; bind the handle and End() it (the span stays open forever)")
+		}
+		return
+	}
+	if id.Name == "_" {
+		return // `_ = sc` reads the handle; the obligation stays put
+	}
+	if src, ok := ast.Unparen(value).(*ast.Ident); ok {
+		obj := a.pass.Pkg.Info.ObjectOf(src)
+		idObj := a.pass.Pkg.Info.ObjectOf(id)
+		if obj != nil && open[obj] && obj != idObj {
+			delete(open, obj)
+			if idObj != nil {
+				open[idObj] = true
+			}
+		}
+	}
+}
+
+// exprStmt handles End calls and bare Begin calls whose handle is dropped.
+func (a *spanAnalysis) exprStmt(e ast.Expr, open spanState) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if isSpanMethod(a.pass, call, "End") {
+		if obj := endRecvObj(a.pass, call); obj != nil {
+			delete(open, obj)
+		}
+		return
+	}
+	if isSpanMethod(a.pass, call, "Begin") {
+		a.pass.Reportf(call.Pos(), "span.Begin result is discarded; bind the handle and End() it (the span stays open forever)")
+	}
+}
+
+// reportOpen reports every span handle that reaches `where` without End.
+func (a *spanAnalysis) reportOpen(open spanState, pos token.Pos, where string) {
+	for obj := range open {
+		if a.deferred[obj] || a.reported[obj] {
+			continue
+		}
+		a.reported[obj] = true
+		a.pass.Reportf(pos, "span %s reaches %s without End() (open span: zero duration in snapshots, lost in critical-path analysis); defer %s.End() after Begin", obj.Name(), where, obj.Name())
+	}
+}

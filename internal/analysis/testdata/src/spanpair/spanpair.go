@@ -1,0 +1,120 @@
+// Package fix is the golden fixture for the spanpair Begin/End discipline
+// checker, calling the real pnetcdf/internal/span.
+package fix
+
+import (
+	"errors"
+
+	"pnetcdf/internal/span"
+)
+
+var errBad = errors.New("bad")
+
+func work() error { return errBad }
+
+// pairedDefer is the blessed shape: one deferred End covers every path,
+// including panics, and closes any descendants still open.
+func pairedDefer(rec *span.Recorder) error {
+	sc := rec.Begin(span.CollWrite)
+	defer sc.End()
+	if err := work(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// pairedExplicit ends the span on each path by hand, the per-round pattern
+// of the collective loop.
+func pairedExplicit(rec *span.Recorder) error {
+	sc := rec.Begin(span.Round)
+	sc.SetRound(3)
+	if err := work(); err != nil {
+		sc.End()
+		return err
+	}
+	sc.End()
+	return nil
+}
+
+// pairedDeferClosure ends the span inside a deferred closure.
+func pairedDeferClosure(rec *span.Recorder) {
+	sc := rec.Begin(span.Pack)
+	defer func() { sc.End() }()
+	work()
+}
+
+// pairedLoopBody begins and ends a fresh span each iteration.
+func pairedLoopBody(rec *span.Recorder, n int) {
+	for i := 0; i < n; i++ {
+		sr := rec.Begin(span.Round)
+		sr.SetRound(i)
+		sr.End()
+	}
+}
+
+// danglingOnErrorPath forgets the span on the error return only.
+func danglingOnErrorPath(rec *span.Recorder) error {
+	sc := rec.Begin(span.Exchange)
+	if err := work(); err != nil {
+		return err // want `span sc reaches return without End\(\)`
+	}
+	sc.End()
+	return nil
+}
+
+// danglingAtEnd falls off the function with the span open.
+func danglingAtEnd(rec *span.Recorder) {
+	sc := rec.Begin(span.Plan)
+	sc.SetBytes(16)
+} // want `span sc reaches function end without End\(\)`
+
+// discardedHandle drops the handle on the floor; nothing can ever End it.
+func discardedHandle(rec *span.Recorder) {
+	rec.Begin(span.Flatten) // want `span\.Begin result is discarded`
+}
+
+// renamed moves the obligation to the new name, which is then honored.
+func renamed(rec *span.Recorder) {
+	sc := rec.Begin(span.Scatter)
+	sd := sc
+	sd.End()
+}
+
+// renamedDangling moves the obligation to the new name and drops it.
+func renamedDangling(rec *span.Recorder) {
+	sc := rec.Begin(span.Scatter)
+	sd := sc
+	_ = sd
+} // want `span sd reaches function end without End\(\)`
+
+// storedAllowed stashes the handle for a later End, with the justification
+// the checker demands.
+type holder struct{ sc span.Active }
+
+func storedAllowed(rec *span.Recorder, h *holder) {
+	//nclint:allow=spanpair -- fixture: holder.finish ends it on the close path
+	h.sc = rec.Begin(span.HeaderCommit)
+}
+
+// storedUnannotated stashes the handle with no justification.
+func storedUnannotated(rec *span.Recorder, h *holder) {
+	h.sc = rec.Begin(span.HeaderCommit) // want `stored outside the function's locals`
+}
+
+// branchBothEnded ends the span in both arms; no report.
+func branchBothEnded(rec *span.Recorder, cond bool) {
+	sc := rec.Begin(span.AggWrite)
+	if cond {
+		sc.End()
+	} else {
+		sc.End()
+	}
+}
+
+// branchOneArmOpen ends the span in one arm only.
+func branchOneArmOpen(rec *span.Recorder, cond bool) {
+	sc := rec.Begin(span.AggRead)
+	if cond {
+		sc.End()
+	}
+} // want `span sc reaches function end without End\(\)`

@@ -9,6 +9,7 @@ import (
 	"pnetcdf/internal/nctype"
 	"pnetcdf/internal/netcdf"
 	"pnetcdf/internal/pfs"
+	"pnetcdf/internal/span"
 )
 
 // Figure6 holds one chart of the paper's Figure 6: read or write bandwidth
@@ -43,6 +44,10 @@ type Fig6Options struct {
 	Stats bool
 	// Trace, when non-nil, receives I/O events from every parallel run.
 	Trace *iostat.Trace
+	// Spans, when non-nil, enables per-rank span recording; each parallel
+	// run's cross-rank merge replaces the sink's contents, so after the
+	// sweep it holds the last run's spans.
+	Spans *span.Sink
 	// Fault injects deterministic transient faults into the runs.
 	Fault FaultOptions
 }
@@ -156,6 +161,10 @@ func runFig6Parallel(opt Fig6Options, part Partition, nprocs int) (float64, *ios
 			c.Proc().SetStats(iostat.New())
 		}
 		c.Proc().SetTrace(opt.Trace)
+		if opt.Spans != nil {
+			proc := c.Proc()
+			proc.SetSpans(span.NewRecorder(c.Rank(), proc.Clock))
+		}
 		mode := nctype.Clobber
 		if nbytes > 1<<31-1 {
 			mode |= nctype.Bit64Offset
@@ -191,6 +200,7 @@ func runFig6Parallel(opt Fig6Options, part Partition, nprocs int) (float64, *ios
 		c.Proc().SetClock(0)
 		fsys.ResetClock()
 		c.Proc().Stats().Reset()
+		c.Proc().Spans().Reset()
 		c.Barrier()
 		t0 := c.Clock()
 		if opt.Read {
@@ -215,7 +225,14 @@ func runFig6Parallel(opt Fig6Options, part Partition, nprocs int) (float64, *ios
 		}
 		if opt.Stats {
 			if s := iostat.Reduce(c, c.Proc().Stats()); s != nil {
+				s.TraceDropped = opt.Trace.Dropped()
 				sum = s
+			}
+		}
+		if opt.Spans != nil {
+			merged, dropped := span.Gather(c, c.Proc().Spans())
+			if c.Rank() == 0 {
+				opt.Spans.Replace(merged, dropped)
 			}
 		}
 		return nil

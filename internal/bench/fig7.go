@@ -7,6 +7,7 @@ import (
 	"pnetcdf/internal/iostat"
 	"pnetcdf/internal/mpi"
 	"pnetcdf/internal/pfs"
+	"pnetcdf/internal/span"
 )
 
 // FlashFile selects which of the three FLASH output files to benchmark.
@@ -62,6 +63,10 @@ type Fig7Options struct {
 	Stats bool
 	// Trace, when non-nil, receives I/O events from the PnetCDF runs.
 	Trace *iostat.Trace
+	// Spans, when non-nil, enables per-rank span recording for the PnetCDF
+	// runs; each run's cross-rank merge replaces the sink's contents, so
+	// after the sweep it holds the largest (last) run's spans.
+	Spans *span.Sink
 	// Fault injects deterministic transient faults into the runs; the
 	// retry counters in Stats show the recovery cost.
 	Fault FaultOptions
@@ -109,6 +114,10 @@ func runFlashOnce(opt Fig7Options, nprocs int, hdf5 bool) (flash.Report, *iostat
 		}
 		if !hdf5 {
 			c.Proc().SetTrace(opt.Trace)
+			if opt.Spans != nil {
+				proc := c.Proc()
+				proc.SetSpans(span.NewRecorder(c.Rank(), proc.Clock))
+			}
 		}
 		var r flash.Report
 		var err error
@@ -128,6 +137,7 @@ func runFlashOnce(opt Fig7Options, nprocs int, hdf5 bool) (flash.Report, *iostat
 			fsys.ResetClock()
 			c.Proc().SetClock(0)
 			c.Proc().Stats().Reset()
+			c.Proc().Spans().Reset()
 			c.Barrier()
 			r, err = flash.ReadCheckpointPnetCDF(c, fsys, "f.nc", opt.Config, nil)
 		case hdf5 && opt.File == FlashCheckpoint:
@@ -151,7 +161,14 @@ func runFlashOnce(opt Fig7Options, nprocs int, hdf5 bool) (flash.Report, *iostat
 		}
 		if collect {
 			if s := iostat.Reduce(c, c.Proc().Stats()); s != nil {
+				s.TraceDropped = opt.Trace.Dropped()
 				sum = s
+			}
+		}
+		if !hdf5 && opt.Spans != nil {
+			merged, dropped := span.Gather(c, c.Proc().Spans())
+			if c.Rank() == 0 {
+				opt.Spans.Replace(merged, dropped)
 			}
 		}
 		return nil

@@ -6,9 +6,14 @@ package cmdutil
 
 import (
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
+
+	"pnetcdf/internal/metrics"
+	"pnetcdf/internal/span"
 )
 
 // Fatal prints "tool: err" to stderr and exits 1. A nil err is a no-op, so
@@ -33,6 +38,41 @@ func Fatalf(tool, format string, args ...any) {
 func Usagef(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(2)
+}
+
+// StartMetrics implements the conventional -metrics-addr behavior: an empty
+// addr disables the endpoint and returns a no-op stop. Otherwise it serves
+// reg's live JSON snapshot on addr (e.g. "localhost:9090") until the
+// returned stop function closes the listener. Bind failures are fatal — a
+// requested metrics endpoint that silently is not there is worse than an
+// aborted run.
+func StartMetrics(tool, addr string, reg *metrics.Registry) func() {
+	if addr == "" {
+		return func() {}
+	}
+	ln, err := net.Listen("tcp", addr)
+	Fatal(tool, err)
+	fmt.Fprintf(os.Stderr, "%s: serving metrics on http://%s/\n", tool, ln.Addr())
+	srv := &http.Server{Handler: reg}
+	go srv.Serve(ln)
+	return func() { _ = srv.Close() }
+}
+
+// WriteSpanFile implements the conventional -span-out behavior: write the
+// merged spans as Chrome trace-event JSON (Perfetto-loadable) at path. An
+// empty path is a no-op. A nonzero drop count is echoed as a warning — the
+// file is then a truncated record, not a complete one.
+func WriteSpanFile(tool, path string, spans []span.Span, dropped int64) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	Fatal(tool, err)
+	Fatal(tool, span.WriteChromeTrace(f, spans, dropped))
+	Fatal(tool, f.Close())
+	if dropped > 0 {
+		fmt.Fprintf(os.Stderr, "%s: WARNING: span recorder dropped %d spans; %s is INCOMPLETE\n", tool, dropped, path)
+	}
 }
 
 // StartProfiles implements the conventional -cpuprofile/-memprofile behavior

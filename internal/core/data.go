@@ -9,6 +9,7 @@ import (
 	"pnetcdf/internal/mpitype"
 	"pnetcdf/internal/nctype"
 	"pnetcdf/internal/netcdf"
+	"pnetcdf/internal/span"
 )
 
 // --- Inquiry functions: purely local, no synchronization (paper §4.3) ---
@@ -267,6 +268,10 @@ func (d *Dataset) checkMode(collective bool) error {
 // external bytes, install the MPI-IO file view, and write (collectively or
 // independently). memsegs == nil means "use the buffer contiguously".
 func (d *Dataset) putFlex(varid int, start, count, stride []int64, data any, memsegs []mpitype.Segment, memSize int64, collective bool) error {
+	// One span per put call; the deferred End closes any children still open
+	// when an error path unwinds.
+	sc := d.sp.Begin(span.NCPut)
+	defer sc.End()
 	if err := d.checkMode(collective); err != nil {
 		return err
 	}
@@ -289,17 +294,21 @@ func (d *Dataset) putFlex(varid int, start, count, stride []int64, data any, mem
 	// intermediate), contiguous memory is a single conversion pass.
 	ext := bufpool.GetDirty(int(req.NElems) * v.Type.Size())[:0]
 	defer func() { bufpool.Put(ext) }()
+	sEnc := d.sp.Begin(span.Encode)
 	var encErr error
 	if memsegs == nil {
 		var linear any
 		linear, err = netcdf.SliceHead(data, req.NElems)
 		if err != nil {
+			sEnc.End()
 			return err
 		}
 		ext, encErr = cdf.EncodeSlice(ext, v.Type, linear)
 	} else {
 		ext, encErr = cdf.EncodeSegs(ext, v.Type, data, memsegs)
 	}
+	sEnc.SetBytes(int64(len(ext)))
+	sEnc.End()
 	if encErr != nil && encErr != cdf.ErrRange {
 		return encErr
 	}
@@ -325,11 +334,13 @@ func (d *Dataset) putFlex(varid int, start, count, stride []int64, data any, mem
 		d.numrecsDirty = true
 	}
 	d.invalidate(varid)
+	sView := d.sp.Begin(span.ViewResolve)
 	view, err := d.fileView(varid, v, req)
-	if err != nil {
-		return err
+	if err == nil {
+		err = d.f.SetView(0, view)
 	}
-	if err := d.f.SetView(0, view); err != nil {
+	sView.End()
+	if err != nil {
 		return err
 	}
 	t0 := d.comm.Clock()
@@ -376,6 +387,8 @@ func (d *Dataset) agreeNumRecs() {
 
 // getFlex is the single read path.
 func (d *Dataset) getFlex(varid int, start, count, stride []int64, data any, memsegs []mpitype.Segment, memSize int64, collective bool) error {
+	sc := d.sp.Begin(span.NCGet)
+	defer sc.End()
 	if err := d.checkMode(collective); err != nil {
 		return err
 	}
@@ -401,11 +414,13 @@ func (d *Dataset) getFlex(varid int, start, count, stride []int64, data any, mem
 	ext := bufpool.GetDirty(int(req.NElems) * v.Type.Size())
 	defer bufpool.Put(ext)
 	if !d.cachedRead(varid, req, ext) {
+		sView := d.sp.Begin(span.ViewResolve)
 		view, err := d.fileView(varid, v, req)
-		if err != nil {
-			return err
+		if err == nil {
+			err = d.f.SetView(0, view)
 		}
-		if err := d.f.SetView(0, view); err != nil {
+		sView.End()
+		if err != nil {
 			return err
 		}
 		t0 := d.comm.Clock()
@@ -420,6 +435,11 @@ func (d *Dataset) getFlex(varid int, start, count, stride []int64, data any, mem
 		d.recordAccess("get", collective, iostat.NCCollGets, iostat.NCIndepGets,
 			iostat.NCBytesGot, iostat.NCGetTimeNs, int64(len(ext)), t0)
 	}
+	// Decode shares the encode phase tag: both are the external<->native
+	// conversion step.
+	sDec := d.sp.Begin(span.Encode)
+	defer sDec.End()
+	sDec.SetBytes(int64(len(ext)))
 	if memsegs == nil {
 		linear, err := netcdf.SliceHead(data, req.NElems)
 		if err != nil {

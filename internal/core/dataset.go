@@ -31,6 +31,7 @@ import (
 	"pnetcdf/internal/mpitype"
 	"pnetcdf/internal/nctype"
 	"pnetcdf/internal/pfs"
+	"pnetcdf/internal/span"
 )
 
 // GlobalID addresses the dataset itself in attribute calls (NC_GLOBAL).
@@ -72,10 +73,11 @@ type Dataset struct {
 	oldLayout *cdf.Header
 	pending   []pendingOp // nonblocking iput/iget queue
 
-	// st/tr are the rank's iostat collectors, cached from the
-	// communicator (nil = stats off).
+	// st/tr/sp are the rank's iostat collectors and span recorder, cached
+	// from the communicator (nil = off).
 	st *iostat.Stats
 	tr *iostat.Trace
+	sp *span.Recorder
 }
 
 // Create collectively creates a new dataset, entering define mode. cmode may
@@ -110,6 +112,7 @@ func Create(comm *mpi.Comm, fsys *pfs.FS, path string, cmode int, info *mpi.Info
 		vAlign: info.GetInt("nc_var_align_size", 1),
 	}
 	d.st, d.tr = comm.Proc().Stats(), comm.Proc().Trace()
+	d.sp = comm.Proc().Spans()
 	return d, nil
 }
 
@@ -176,6 +179,7 @@ func Open(comm *mpi.Comm, fsys *pfs.FS, path string, omode int, info *mpi.Info) 
 		persistedNumRecs: hdr.NumRecs,
 	}
 	d.st, d.tr = comm.Proc().Stats(), comm.Proc().Trace()
+	d.sp = comm.Proc().Spans()
 	d.st.Add(iostat.NCHeaderBcastBytes, int64(len(blob)))
 	if recovered {
 		d.st.Add(iostat.NCHeaderRecoveries, 1)
@@ -514,7 +518,10 @@ func (d *Dataset) writeHeaderCollective() error {
 // Open and ncvalidate recover from the journal, so the file always
 // classifies as old or new, never a torn hybrid.
 func (d *Dataset) commitHeader() error {
+	sc := d.sp.Begin(span.HeaderCommit)
+	defer sc.End()
 	blob := d.hdr.Encode()
+	sc.SetBytes(int64(len(blob)))
 	size, err := d.f.Size()
 	if err != nil {
 		return err

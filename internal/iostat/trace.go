@@ -100,7 +100,17 @@ func (t *Trace) Events() []Event {
 	return out
 }
 
-// WriteJSONL dumps the buffered events as JSON lines, oldest first.
+// MetaLayer marks synthetic events that carry trace metadata rather than
+// I/O operations; MetaDropped events carry the ring's overwrite count in
+// Len. SplitMeta separates them back out on read.
+const (
+	MetaLayer   = "_meta"
+	MetaDropped = "dropped"
+)
+
+// WriteJSONL dumps the buffered events as JSON lines, oldest first. When
+// the ring overwrote events, a final MetaLayer/MetaDropped line records how
+// many, so a reader can never mistake a truncated trace for a complete one.
 func (t *Trace) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
@@ -109,7 +119,29 @@ func (t *Trace) WriteJSONL(w io.Writer) error {
 			return err
 		}
 	}
+	if d := t.Dropped(); d > 0 {
+		if err := enc.Encode(Event{Layer: MetaLayer, Op: MetaDropped, Rank: -1, Off: -1, Len: d}); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
+}
+
+// SplitMeta separates I/O events from trace-metadata events, returning the
+// real events and the total dropped count the metadata declared.
+func SplitMeta(events []Event) ([]Event, int64) {
+	var dropped int64
+	out := events[:0]
+	for _, e := range events {
+		if e.Layer == MetaLayer {
+			if e.Op == MetaDropped {
+				dropped += e.Len
+			}
+			continue
+		}
+		out = append(out, e)
+	}
+	return out, dropped
 }
 
 // ReadJSONL parses a JSON-lines trace dump. Blank lines are skipped; a

@@ -1,0 +1,93 @@
+// Package metrics is a tiny expvar-style registry: named snapshot
+// functions published over HTTP as one JSON document. The bench tools use
+// it for a live view of a sweep in progress (-metrics-addr): runs
+// completed, the last run's reduced counters, trace/span drop counts.
+//
+// The stdlib expvar package publishes on http.DefaultServeMux for the
+// process's lifetime; this registry is per-tool and serves on its own
+// listener so tests and multiple harnesses never collide.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Registry maps names to snapshot functions. Safe for concurrent use; the
+// zero value is ready. A nil *Registry ignores Publish and serves an empty
+// document, matching the repo's nil-safe observability convention.
+type Registry struct {
+	mu   sync.Mutex
+	vars map[string]func() any
+}
+
+// Publish registers (or replaces) a named variable. fn is called at
+// serve/snapshot time and must be safe to call from any goroutine; its
+// result must be JSON-marshalable.
+func (r *Registry) Publish(name string, fn func() any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.vars == nil {
+		r.vars = make(map[string]func() any)
+	}
+	r.vars[name] = fn
+	r.mu.Unlock()
+}
+
+// Set publishes a constant value.
+func (r *Registry) Set(name string, v any) {
+	r.Publish(name, func() any { return v })
+}
+
+// Snapshot evaluates every variable. Deterministic key order is the
+// marshaler's concern; this returns a plain map.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.vars))
+	fns := make([]func() any, 0, len(r.vars))
+	for n, fn := range r.vars {
+		names = append(names, n)
+		fns = append(fns, fn)
+	}
+	r.mu.Unlock()
+	// Evaluate outside the lock: a snapshot function may itself take locks.
+	for i, n := range names {
+		out[n] = fns[i]()
+	}
+	return out
+}
+
+// ServeHTTP serves the snapshot as indented JSON (any path).
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	snap := r.Snapshot()
+	// Stable output: marshal as an ordered document.
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprint(w, "{\n")
+	for i, n := range names {
+		kb, _ := json.Marshal(n)
+		vb, err := json.MarshalIndent(snap[n], "  ", "  ")
+		if err != nil {
+			vb, _ = json.Marshal(err.Error())
+		}
+		comma := ","
+		if i == len(names)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(w, "  %s: %s%s\n", kb, vb, comma)
+	}
+	fmt.Fprint(w, "}\n")
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRegistryServesJSON(t *testing.T) {
+	var reg Registry
+	var runs atomic.Int64
+	runs.Store(3)
+	reg.Publish("runs_completed", func() any { return runs.Load() })
+	reg.Set("tool", "flashio-bench")
+
+	srv := httptest.NewServer(&reg)
+	defer srv.Close()
+
+	fetch := func() map[string]any {
+		resp, err := srv.Client().Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+			t.Fatalf("Content-Type = %q", ct)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("response is not valid JSON: %v\n%s", err, body)
+		}
+		return out
+	}
+
+	got := fetch()
+	if got["runs_completed"].(float64) != 3 || got["tool"] != "flashio-bench" {
+		t.Fatalf("snapshot = %v", got)
+	}
+	// Live: the snapshot function re-evaluates per request.
+	runs.Store(7)
+	if got := fetch(); got["runs_completed"].(float64) != 7 {
+		t.Fatalf("snapshot not live: %v", got)
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Publish("x", func() any { return 1 })
+	r.Set("y", 2)
+	if len(r.Snapshot()) != 0 {
+		t.Fatal("nil registry holds state")
+	}
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || len(out) != 0 {
+		t.Fatalf("nil registry served %q (err %v)", rec.Body.String(), err)
+	}
+}
+
+func TestRegistryReplaceAndSnapshot(t *testing.T) {
+	var reg Registry
+	reg.Set("v", 1)
+	reg.Set("v", 2)
+	if got := reg.Snapshot()["v"]; got != 2 {
+		t.Fatalf("v = %v", got)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"pnetcdf/internal/iostat"
+	"pnetcdf/internal/span"
 )
 
 // AnySource matches a message from any rank, like MPI_ANY_SOURCE.
@@ -105,6 +106,10 @@ type Proc struct {
 	// them through the communicator.
 	stats *iostat.Stats
 	trace *iostat.Trace
+
+	// spans is the rank's hierarchical span recorder (DESIGN.md §11); nil
+	// (the default) keeps the instrumented pipeline allocation-free.
+	spans *span.Recorder
 }
 
 // SetStats installs (or, with nil, removes) the rank's statistics
@@ -120,6 +125,12 @@ func (p *Proc) SetTrace(t *iostat.Trace) { p.trace = t }
 
 // Trace returns the rank's event trace (nil when disabled).
 func (p *Proc) Trace() *iostat.Trace { return p.trace }
+
+// SetSpans installs (or, with nil, removes) the rank's span recorder.
+func (p *Proc) SetSpans(r *span.Recorder) { p.spans = r }
+
+// Spans returns the rank's span recorder (nil when disabled).
+func (p *Proc) Spans() *span.Recorder { return p.spans }
 
 // Clock returns the rank's current virtual time in seconds.
 func (p *Proc) Clock() float64 { return p.clock }

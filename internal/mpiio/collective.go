@@ -10,6 +10,7 @@ import (
 	"pnetcdf/internal/iostat"
 	"pnetcdf/internal/mpi"
 	"pnetcdf/internal/pfs"
+	"pnetcdf/internal/span"
 )
 
 // Two-phase collective I/O, after "Data Sieving and Collective I/O in
@@ -54,9 +55,16 @@ func (f *File) WriteAtAll(off int64, buf []byte) error {
 		// success or failure.
 		return f.agreeAbort(f.comm.AgreeError(f.WriteAt(off, buf)))
 	}
+	// One span covers the whole collective; its deferred End also closes any
+	// still-open round/phase children if an error path unwinds early.
+	sc := f.sp.Begin(span.CollWrite)
+	defer sc.End()
+	sc.SetBytes(int64(len(buf)))
 	segs, err := f.viewSegments(off, int64(len(buf)))
 	t0 := f.comm.Clock()
+	sPlan := f.sp.Begin(span.Plan)
 	plan, ok, err := f.collectivePlan(segs, err)
+	sPlan.End()
 	if err != nil {
 		return f.agreeAbort(err)
 	}
@@ -77,8 +85,11 @@ func (f *File) WriteAtAll(off int64, buf []byte) error {
 	var entries []writeEntry
 	round := 0
 	for r := int64(0); r < plan.rounds; r++ {
+		sRound := f.sp.Begin(span.Round)
+		sRound.SetRound(int(r))
 		// Phase 1: each rank slices its request per aggregator window and
 		// ships segment lists plus payload (pooled message buffers).
+		sPack := f.sp.Begin(span.Pack)
 		clear(parts)
 		for a := 0; a < plan.naggs; a++ {
 			lo, hi := plan.window(a, r)
@@ -92,21 +103,32 @@ func (f *File) WriteAtAll(off int64, buf []byte) error {
 			msg := encodeWriteMsg(scratch, buf)
 			parts[plan.aggRank(a)] = msg
 			f.st.Add(iostat.IOExchangeBytes, int64(len(msg)))
+			sPack.AddBytes(int64(len(msg)))
 		}
+		sPack.End()
+		sXchg := f.sp.Begin(span.Exchange)
 		msgs := sparseExchange(f.comm, parts, collTagBase+round)
+		sXchg.End()
 		round++
 		// Phase 2: aggregators issue large vectored writes whose iovec points
 		// straight into the received message payloads — no coalescing copy
 		// (transient errors retried under the file's retry policy).
 		var roundErr error
 		if myAgg >= 0 {
+			sAgg := f.sp.Begin(span.AggWrite)
 			entries = decodeWriteMsgs(msgs, entries[:0])
 			if len(entries) > 0 {
 				wsegs, iov := assembleWriteVec(entries)
+				var wn int64
+				for _, s := range wsegs {
+					wn += s.Len
+				}
+				sAgg.SetBytes(wn)
 				roundErr = f.doPF(func(t float64) (float64, error) {
 					return f.pf.WriteVec(t, wsegs, iov)
 				})
 			}
+			sAgg.End()
 		}
 		// The write is down; recycle this round's buffers. The self-delivered
 		// entry aliases parts[rank], so it is returned exactly once.
@@ -115,8 +137,10 @@ func (f *File) WriteAtAll(off int64, buf []byte) error {
 		// aggregator failed this round, so all ranks return the same error
 		// and nobody proceeds into the next round's exchange alone.
 		if err := f.comm.AgreeError(roundErr); err != nil {
+			sRound.End()
 			return f.agreeAbort(err)
 		}
+		sRound.End()
 	}
 	f.st.Add(iostat.IOTwoPhaseRounds, plan.rounds)
 	f.recordAccess("coll_write", iostat.IOCollWriteCalls, iostat.IOBytesWritten,
@@ -132,9 +156,14 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 	if !f.hints.CBRead {
 		return f.agreeAbort(f.comm.AgreeError(f.ReadAt(off, buf)))
 	}
+	sc := f.sp.Begin(span.CollRead)
+	defer sc.End()
+	sc.SetBytes(int64(len(buf)))
 	segs, err := f.viewSegments(off, int64(len(buf)))
 	t0 := f.comm.Clock()
+	sPlan := f.sp.Begin(span.Plan)
 	plan, ok, err := f.collectivePlan(segs, err)
+	sPlan.End()
 	if err != nil {
 		return f.agreeAbort(err)
 	}
@@ -156,8 +185,11 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 	reqBufs := make([][]reqSeg, plan.naggs)
 	round := 0
 	for r := int64(0); r < plan.rounds; r++ {
+		sRound := f.sp.Begin(span.Round)
+		sRound.SetRound(int(r))
 		// Phase 1: ship request segment lists to aggregators; remember the
 		// order so replies can be scattered back into buf.
+		sPack := f.sp.Begin(span.Pack)
 		clear(parts)
 		clear(myReqs)
 		for a := 0; a < plan.naggs; a++ {
@@ -174,17 +206,23 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 			parts[ar] = encodeReadMsg(reqs)
 			myReqs[ar] = reqs
 			f.st.Add(iostat.IOExchangeBytes, int64(len(parts[ar])))
+			sPack.AddBytes(int64(len(parts[ar])))
 		}
+		sPack.End()
+		sXchg := f.sp.Begin(span.Exchange)
 		msgs := sparseExchange(f.comm, parts, collTagBase+round)
+		sXchg.End()
 		round++
 		// Phase 2: aggregators read merged coverage and reply per source.
 		clear(replies)
 		var roundErr error
 		var cov *coverage
 		if myAgg >= 0 {
+			sAgg := f.sp.Begin(span.AggRead)
 			reqsBySrc := decodeReadMsgs(msgs)
 			if len(reqsBySrc) > 0 {
 				cov = newCoverage(reqsBySrc)
+				sAgg.SetBytes(int64(len(cov.data)))
 				roundErr = f.doPF(func(t float64) (float64, error) {
 					return f.pf.ReadV(t, cov.segs, cov.data)
 				})
@@ -204,6 +242,7 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 					}
 				}
 			}
+			sAgg.End()
 		}
 		if cov != nil {
 			bufpool.Put(cov.data)
@@ -217,11 +256,15 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 			// reply exchange never runs, so the reply buffers must go back
 			// to the pool here (leak found by nclint's bufpool checker).
 			recycleRound(replies, nil, f.comm.Rank())
+			sRound.End()
 			return f.agreeAbort(err)
 		}
+		sReply := f.sp.Begin(span.ReplyXchg)
 		back := sparseExchange(f.comm, replies, collTagBase+round)
+		sReply.End()
 		round++
 		// Scatter replies into buf.
+		sScatter := f.sp.Begin(span.Scatter)
 		for src, blob := range back {
 			reqs := myReqs[src]
 			pos := int64(0)
@@ -230,7 +273,9 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 				pos += rq.len
 			}
 		}
+		sScatter.End()
 		recycleRound(replies, back, f.comm.Rank())
+		sRound.End()
 	}
 	f.st.Add(iostat.IOTwoPhaseRounds, plan.rounds)
 	f.recordAccess("coll_read", iostat.IOCollReadCalls, iostat.IOBytesRead,
@@ -290,8 +335,8 @@ func (f *File) collectivePlan(segs []pfs.Segment, localErr error) (collectivePla
 		return collectivePlan{}, false, nil
 	}
 	naggs := min(f.hints.CBNodes, f.comm.Size())
-	span := gmax - gmin
-	domain := (span + int64(naggs) - 1) / int64(naggs)
+	width := gmax - gmin
+	domain := (width + int64(naggs) - 1) / int64(naggs)
 	stripe := f.fs.Config().StripeSize
 	domain = (domain + stripe - 1) / stripe * stripe
 	rounds := (domain + f.hints.CBBufferSize - 1) / f.hints.CBBufferSize

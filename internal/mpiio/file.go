@@ -20,6 +20,7 @@ import (
 	"pnetcdf/internal/mpi"
 	"pnetcdf/internal/mpitype"
 	"pnetcdf/internal/pfs"
+	"pnetcdf/internal/span"
 )
 
 // Access mode flags, mirroring MPI_MODE_*.
@@ -96,10 +97,11 @@ type File struct {
 	info   *mpi.Info
 	closed bool
 
-	// st/tr are the rank's iostat collectors, cached from the
-	// communicator's Proc at open time (nil = stats off).
+	// st/tr/sp are the rank's iostat collectors and span recorder, cached
+	// from the communicator's Proc at open time (nil = off).
 	st *iostat.Stats
 	tr *iostat.Trace
+	sp *span.Recorder
 
 	// retry is the transient-error retry schedule applied to every pfs
 	// access this handle issues (see doPF).
@@ -160,7 +162,9 @@ func Open(comm *mpi.Comm, fsys *pfs.FS, name string, amode int, info *mpi.Info) 
 	f := &File{comm: comm, fs: fsys, pf: pf, amode: amode, hints: resolveHints(comm, info), info: info.Clone(),
 		retry: fault.DefaultRetryPolicy()}
 	f.st, f.tr = comm.Proc().Stats(), comm.Proc().Trace()
+	f.sp = comm.Proc().Spans()
 	pf.SetStats(f.st, f.tr, comm.Rank())
+	pf.SetSpans(f.sp)
 	// Everyone leaves open together, with the truncation visible.
 	comm.Barrier()
 	return f, nil
@@ -205,7 +209,7 @@ func (f *File) viewSegments(off, n int64) ([]pfs.Segment, error) {
 	if f.ftype.Size() == 0 {
 		return []pfs.Segment{{Off: f.disp + off, Len: n}}, nil
 	}
-	segs, err := f.ftype.SegmentsForRange(f.disp, off, n)
+	segs, err := f.ftype.SegmentsForRangeSpan(f.disp, off, n, f.sp)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,101 @@
+package mpiio
+
+import (
+	"testing"
+
+	"pnetcdf/internal/fault"
+	"pnetcdf/internal/mpi"
+	"pnetcdf/internal/mpitype"
+	"pnetcdf/internal/span"
+)
+
+// TestSpansClosedUnderTransientFaults: under an aggressive transient fault
+// rate the collective path retries its way to success — and because every
+// span is closed by defer (or explicitly before each error return), the
+// recorder must end with zero open spans on every rank. A dangling span
+// here means an instrumented path returned without unwinding.
+func TestSpansClosedUnderTransientFaults(t *testing.T) {
+	fsys := testFS()
+	in := fault.New(fault.Config{
+		Seed: 42, ReadErrRate: 0.2, WriteErrRate: 0.2,
+		LatencyRate: 0.1, LatencySpike: 1e-3,
+	})
+	fsys.SetFault(in)
+	const n = 4
+	recs := make([]*span.Recorder, n)
+	runWorld(t, n, func(c *mpi.Comm) error {
+		proc := c.Proc()
+		rec := span.NewRecorder(c.Rank(), proc.Clock)
+		proc.SetSpans(rec)
+		recs[c.Rank()] = rec
+		f, err := Open(c, fsys, "spanfault", ModeRdWr|ModeCreate, nil)
+		if err != nil {
+			return err
+		}
+		if err := f.SetView(int64(c.Rank())*8192, mpitype.Contig(8192)); err != nil {
+			return err
+		}
+		buf := make([]byte, 8192)
+		for i := 0; i < 4; i++ {
+			if err := f.WriteAtAll(0, buf); err != nil {
+				return err
+			}
+			if err := f.ReadAtAll(0, buf); err != nil {
+				return err
+			}
+		}
+		return f.Close()
+	})
+	if in.Injected() == 0 {
+		t.Fatal("no faults injected; test proves nothing")
+	}
+	for r, rec := range recs {
+		if open := rec.Open(); open != 0 {
+			t.Errorf("rank %d: %d spans still open after faulted run", r, open)
+		}
+		if rec.Len() == 0 {
+			t.Errorf("rank %d: no spans recorded; instrumentation not active", r)
+		}
+	}
+}
+
+// TestSpansClosedAfterCrashAbort: when a crash point kills one aggregator
+// mid-collective, every rank's WriteAtAll returns an error — and every
+// rank's spans, including the mid-round ones on the error path, must be
+// closed. This is the property the spanpair checker enforces statically
+// and this test enforces dynamically.
+func TestSpansClosedAfterCrashAbort(t *testing.T) {
+	fsys := testFS()
+	in := fault.New(fault.Config{Seed: 7})
+	fsys.SetFault(in)
+	const n = 4
+	recs := make([]*span.Recorder, n)
+	errs := make([]error, n)
+	runWorld(t, n, func(c *mpi.Comm) error {
+		proc := c.Proc()
+		rec := span.NewRecorder(c.Rank(), proc.Clock)
+		proc.SetSpans(rec)
+		recs[c.Rank()] = rec
+		f, err := Open(c, fsys, "spancrash", ModeRdWr|ModeCreate, nil)
+		if err != nil {
+			return err
+		}
+		if err := f.SetView(int64(c.Rank())*(1<<20), mpitype.Contig(1<<20)); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			in.ArmCrash(2<<20, false)
+		}
+		c.Barrier()
+		errs[c.Rank()] = f.WriteAtAll(0, make([]byte, 1<<20))
+		return f.Close()
+	})
+	for r := range recs {
+		if errs[r] == nil {
+			t.Fatalf("rank %d: collective write with crashed peer returned nil", r)
+		}
+		if open := recs[r].Open(); open != 0 {
+			t.Errorf("rank %d: %d spans dangling on the crash-abort error path", r, open)
+		}
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"pnetcdf/internal/span"
 )
 
 // Segment is one contiguous run of units within a datatype's extent.
@@ -338,4 +340,19 @@ func (d Datatype) SegmentsForRange(disp, skipUnits, nUnits int64) ([]Segment, er
 		tileIdx++
 	}
 	return out, nil
+}
+
+// SegmentsForRangeSpan is SegmentsForRange wrapped in a "flatten" span on
+// rec (nil = no recording): the view-resolve step of the collective
+// pipeline, with the span's byte count carrying the number of file extents
+// the flattening produced.
+func (d Datatype) SegmentsForRangeSpan(disp, skipUnits, nUnits int64, rec *span.Recorder) ([]Segment, error) {
+	if rec == nil {
+		return d.SegmentsForRange(disp, skipUnits, nUnits)
+	}
+	sp := rec.Begin(span.Flatten)
+	segs, err := d.SegmentsForRange(disp, skipUnits, nUnits)
+	sp.SetBytes(int64(len(segs)))
+	sp.End()
+	return segs, err
 }

@@ -38,6 +38,7 @@ import (
 
 	"pnetcdf/internal/fault"
 	"pnetcdf/internal/iostat"
+	"pnetcdf/internal/span"
 )
 
 // Segment is one contiguous file extent of an I/O request.
@@ -176,6 +177,7 @@ type File struct {
 	// collectors are the rank's collectors.
 	stats *iostat.Stats
 	trace *iostat.Trace
+	spans *span.Recorder
 	rank  int
 }
 
@@ -185,6 +187,11 @@ type File struct {
 func (f *File) SetStats(s *iostat.Stats, t *iostat.Trace, rank int) {
 	f.stats, f.trace, f.rank = s, t, rank
 }
+
+// SetSpans installs the handle's span recorder (nil = disabled). Every
+// request batch — including attempts killed by fault injection, which a
+// retry above re-issues — records one pfs_read/pfs_write leaf span.
+func (f *File) SetSpans(r *span.Recorder) { f.spans = r }
 
 // Create opens name, truncating it to zero length, and charges OpenCost.
 func (fs *FS) Create(name string, t float64) (*File, float64) {
@@ -355,6 +362,7 @@ func (f *File) WriteVec(t float64, segs []Segment, iov [][]byte) (float64, error
 	if n := iovTotal(iov); n != total {
 		return t, fmt.Errorf("pfs: writevec iovec holds %d bytes, segments need %d", n, total)
 	}
+	t0 := t
 	if f.fs.inj != nil {
 		out := f.inject(fault.OpWrite, segs, total)
 		t += out.Delay
@@ -364,7 +372,9 @@ func (f *File) WriteVec(t float64, segs []Segment, iov [][]byte) (float64, error
 				f.Truncate(out.TruncateTo)
 			}
 			f.stats.Add(iostat.PfsFaultsInjected, 1)
-			return t + f.fs.cfg.NetLatency, out.Err
+			done := t + f.fs.cfg.NetLatency
+			f.spans.Record(span.PFSWrite, -1, t0, done, out.N)
+			return done, out.Err
 		}
 		if out.Delay > 0 {
 			f.stats.Add(iostat.PfsFaultsInjected, 1)
@@ -374,6 +384,7 @@ func (f *File) WriteVec(t float64, segs []Segment, iov [][]byte) (float64, error
 	done, extents := f.fs.charge(t, segs, false, f.stats)
 	f.record(iostat.PfsWriteCalls, iostat.PfsBytesWritten, iostat.PfsWriteExtents,
 		"write", t, done, segs, total, extents)
+	f.spans.Record(span.PFSWrite, -1, t0, done, total)
 	return done, nil
 }
 
@@ -439,12 +450,15 @@ func (f *File) ReadVec(t float64, segs []Segment, iov [][]byte) (float64, error)
 	if n := iovTotal(iov); n != total {
 		return t, fmt.Errorf("pfs: readvec iovec holds %d bytes, segments need %d", n, total)
 	}
+	t0 := t
 	if f.fs.inj != nil {
 		out := f.inject(fault.OpRead, segs, total)
 		t += out.Delay
 		if out.Err != nil {
 			f.stats.Add(iostat.PfsFaultsInjected, 1)
-			return t + f.fs.cfg.NetLatency, out.Err
+			done := t + f.fs.cfg.NetLatency
+			f.spans.Record(span.PFSRead, -1, t0, done, 0)
+			return done, out.Err
 		}
 		if out.Delay > 0 {
 			f.stats.Add(iostat.PfsFaultsInjected, 1)
@@ -463,6 +477,7 @@ func (f *File) ReadVec(t float64, segs []Segment, iov [][]byte) (float64, error)
 	done, extents := f.fs.charge(t, segs, true, f.stats)
 	f.record(iostat.PfsReadCalls, iostat.PfsBytesRead, iostat.PfsReadExtents,
 		"read", t, done, segs, total, extents)
+	f.spans.Record(span.PFSRead, -1, t0, done, total)
 	return done, nil
 }
 

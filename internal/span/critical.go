@@ -1,0 +1,328 @@
+package span
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RoundCritical names the rank and phase that bounded one two-phase round
+// of one collective call. "Bounded" means: among all ranks participating in
+// the round, this rank's local work (from its round start to the end of its
+// last child phase, before the round's collective error agreement
+// synchronizes everyone) took longest, and Phase is the longest child phase
+// on that rank. Durations are within-rank, so the analysis is immune to
+// cross-rank clock skew.
+type RoundCritical struct {
+	Coll  int     // collective call index (order of coll_* spans per rank)
+	Round int     // round index within the collective
+	Rank  int     // bounding rank
+	Phase string  // dominant phase on the bounding rank
+	Work  float64 // bounding rank's work seconds for the round
+	Min   float64 // fastest rank's work seconds
+	Mean  float64 // mean work seconds across participating ranks
+	Ranks int     // ranks that contributed a span to this round
+}
+
+// Spread returns max/mean work, the round's load-imbalance factor
+// (1.0 = perfectly balanced).
+func (rc RoundCritical) Spread() float64 {
+	if rc.Mean <= 0 {
+		return 1
+	}
+	return rc.Work / rc.Mean
+}
+
+// byID indexes one rank's spans for parent-chain walks.
+func index(spans []Span) map[int]map[int64]*Span {
+	idx := make(map[int]map[int64]*Span)
+	for i := range spans {
+		s := &spans[i]
+		m := idx[s.Rank]
+		if m == nil {
+			m = make(map[int64]*Span)
+			idx[s.Rank] = m
+		}
+		m[s.ID] = s
+	}
+	return idx
+}
+
+// collIndexes assigns each rank's collective spans (coll_write/coll_read)
+// a per-rank sequence number. Collectives execute in lockstep across ranks,
+// so the i-th collective on rank a and the i-th on rank b are the same call.
+func collIndexes(spans []Span) map[int]map[int64]int {
+	perRank := make(map[int][]*Span)
+	for i := range spans {
+		s := &spans[i]
+		if s.Phase == CollWrite || s.Phase == CollRead {
+			perRank[s.Rank] = append(perRank[s.Rank], s)
+		}
+	}
+	out := make(map[int]map[int64]int)
+	for rank, list := range perRank {
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Start != list[j].Start {
+				return list[i].Start < list[j].Start
+			}
+			return list[i].ID < list[j].ID
+		})
+		m := make(map[int64]int, len(list))
+		for i, s := range list {
+			m[s.ID] = i
+		}
+		out[rank] = m
+	}
+	return out
+}
+
+// CriticalPath computes, for every (collective, round) pair present in the
+// merged spans, which rank and phase bounded it. Rounds with spans from a
+// subset of ranks (uneven traces) are analyzed over the ranks present.
+// Returns rounds sorted by (Coll, Round).
+func CriticalPath(spans []Span) []RoundCritical {
+	idx := index(spans)
+	colls := collIndexes(spans)
+
+	// Children grouped under each round span, per (rank, round span ID).
+	children := make(map[int]map[int64][]*Span)
+	var rounds []*Span
+	for i := range spans {
+		s := &spans[i]
+		if s.Phase == Round {
+			rounds = append(rounds, s)
+			continue
+		}
+		if s.Parent == 0 {
+			continue
+		}
+		parent := idx[s.Rank][s.Parent]
+		if parent == nil || parent.Phase != Round {
+			continue
+		}
+		m := children[s.Rank]
+		if m == nil {
+			m = make(map[int64][]*Span)
+			children[s.Rank] = m
+		}
+		m[s.Parent] = append(m[s.Parent], s)
+	}
+
+	type key struct{ coll, round int }
+	type entry struct {
+		rank  int
+		work  float64
+		phase string
+	}
+	groups := make(map[key][]entry)
+	for _, rs := range rounds {
+		coll := -1
+		if p := idx[rs.Rank][rs.Parent]; p != nil {
+			if ci, ok := colls[rs.Rank][p.ID]; ok {
+				coll = ci
+			}
+		}
+		kids := children[rs.Rank][rs.ID]
+		// Work = round start to the end of the last child phase: the stretch
+		// this rank kept the round waiting before the closing agreement sync
+		// (the sync itself ends at the same instant on every rank, so the
+		// full round duration carries no per-rank signal).
+		work := rs.Dur()
+		phase := Round
+		if len(kids) > 0 {
+			lastEnd := rs.Start
+			var domPhase string
+			var domDur float64
+			for _, k := range kids {
+				if k.End > lastEnd {
+					lastEnd = k.End
+				}
+				if d := k.Dur(); d >= domDur {
+					domDur, domPhase = d, k.Phase
+				}
+			}
+			work = lastEnd - rs.Start
+			if work < 0 {
+				work = 0
+			}
+			phase = domPhase
+		}
+		k := key{coll, int(rs.Round)}
+		groups[k] = append(groups[k], entry{rank: rs.Rank, work: work, phase: phase})
+	}
+
+	out := make([]RoundCritical, 0, len(groups))
+	for k, entries := range groups {
+		rc := RoundCritical{Coll: k.coll, Round: k.round, Min: -1}
+		var sum float64
+		for _, e := range entries {
+			sum += e.work
+			if e.work > rc.Work || (e.work == rc.Work && (rc.Ranks == 0 || e.rank < rc.Rank)) {
+				rc.Work, rc.Rank, rc.Phase = e.work, e.rank, e.phase
+			}
+			if rc.Min < 0 || e.work < rc.Min {
+				rc.Min = e.work
+			}
+			rc.Ranks++
+		}
+		if rc.Min < 0 {
+			rc.Min = 0
+		}
+		rc.Mean = sum / float64(len(entries))
+		out = append(out, rc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Coll != out[j].Coll {
+			return out[i].Coll < out[j].Coll
+		}
+		return out[i].Round < out[j].Round
+	})
+	return out
+}
+
+// BoundCounts tallies how often each rank bounded a round — the straggler
+// attribution summary ("rank 3 bounded 14/24 rounds").
+func BoundCounts(rounds []RoundCritical) map[int]int {
+	out := make(map[int]int)
+	for _, rc := range rounds {
+		out[rc.Rank]++
+	}
+	return out
+}
+
+// RankLoad is one rank's total time and call count in one phase.
+type RankLoad struct {
+	Rank    int
+	Seconds float64
+	Calls   int
+	Bytes   int64
+}
+
+// Load aggregates one phase across ranks: the per-phase load-imbalance
+// histogram. PerRank covers only ranks with at least one span in the phase
+// (aggregator phases legitimately touch a subset of ranks).
+type Load struct {
+	Phase   string
+	PerRank []RankLoad // sorted by rank
+	Min     float64
+	Max     float64
+	Mean    float64
+	MaxRank int
+	Calls   int
+	Bytes   int64
+}
+
+// Imbalance returns max/mean seconds (1.0 = perfectly balanced; 0 when the
+// phase saw no time).
+func (l Load) Imbalance() float64 {
+	if l.Mean <= 0 {
+		return 0
+	}
+	return l.Max / l.Mean
+}
+
+// PhaseLoad computes the per-rank load for one phase tag.
+func PhaseLoad(spans []Span, phase string) Load {
+	per := make(map[int]*RankLoad)
+	for i := range spans {
+		s := &spans[i]
+		if s.Phase != phase {
+			continue
+		}
+		rl := per[s.Rank]
+		if rl == nil {
+			rl = &RankLoad{Rank: s.Rank}
+			per[s.Rank] = rl
+		}
+		rl.Seconds += s.Dur()
+		rl.Calls++
+		rl.Bytes += s.Bytes
+	}
+	l := Load{Phase: phase, Min: -1}
+	var sum float64
+	for _, rl := range per {
+		l.PerRank = append(l.PerRank, *rl)
+		sum += rl.Seconds
+		l.Calls += rl.Calls
+		l.Bytes += rl.Bytes
+		if rl.Seconds > l.Max || (rl.Seconds == l.Max && len(l.PerRank) == 1) {
+			l.Max, l.MaxRank = rl.Seconds, rl.Rank
+		}
+		if l.Min < 0 || rl.Seconds < l.Min {
+			l.Min = rl.Seconds
+		}
+	}
+	if l.Min < 0 {
+		l.Min = 0
+	}
+	if len(l.PerRank) > 0 {
+		l.Mean = sum / float64(len(l.PerRank))
+	}
+	sort.Slice(l.PerRank, func(i, j int) bool { return l.PerRank[i].Rank < l.PerRank[j].Rank })
+	return l
+}
+
+// AllLoads computes PhaseLoad for every phase present, sorted most
+// imbalanced first (ties broken by total time, then name) — the straggler
+// attribution table.
+func AllLoads(spans []Span) []Load {
+	seen := make(map[string]bool)
+	var phases []string
+	for i := range spans {
+		if p := spans[i].Phase; !seen[p] {
+			seen[p] = true
+			phases = append(phases, p)
+		}
+	}
+	out := make([]Load, 0, len(phases))
+	for _, p := range phases {
+		out = append(out, PhaseLoad(spans, p))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		bi, bj := out[i].Imbalance(), out[j].Imbalance()
+		if bi != bj {
+			return bi > bj
+		}
+		si := out[i].Mean * float64(len(out[i].PerRank))
+		sj := out[j].Mean * float64(len(out[j].PerRank))
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}
+
+// Histogram buckets the per-rank seconds of a Load into n equal-width
+// buckets over [Min, Max], returning counts and human-readable bucket
+// labels. Useful for the aggregator load-imbalance view.
+func (l Load) Histogram(n int) (counts []int, labels []string) {
+	if n < 1 || len(l.PerRank) == 0 {
+		return nil, nil
+	}
+	counts = make([]int, n)
+	labels = make([]string, n)
+	width := (l.Max - l.Min) / float64(n)
+	for i := range labels {
+		lo := l.Min + float64(i)*width
+		labels[i] = fmt.Sprintf("[%.3gms, %.3gms)", lo*1e3, (lo+width)*1e3)
+	}
+	if width <= 0 {
+		labels[0] = fmt.Sprintf("[%.3gms]", l.Min*1e3)
+		counts[0] = len(l.PerRank)
+		for i := 1; i < n; i++ {
+			labels[i] = labels[0]
+		}
+		return counts[:1], labels[:1]
+	}
+	for _, rl := range l.PerRank {
+		b := int((rl.Seconds - l.Min) / width)
+		if b >= n {
+			b = n - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	return counts, labels
+}

@@ -1,0 +1,195 @@
+package span_test
+
+import (
+	"testing"
+
+	"pnetcdf/internal/span"
+)
+
+// buildWorld fabricates a merged trace: per rank, colls collective-write
+// spans each with rounds two-phase rounds; in each round the rank does a
+// pack (fixed 1ms), an exchange (exch[rank][coll][round] seconds), and an
+// agg_write (agg[rank][coll][round] seconds), then an agreement sync pads
+// every rank's round span to the same end. Each rank's clock is skewed by
+// rank*1e6 seconds to prove the analyses are duration-based.
+func buildWorld(ranks, colls, rounds int, exch, agg func(rank, coll, round int) float64) []span.Span {
+	var out []span.Span
+	for rank := 0; rank < ranks; rank++ {
+		clk := &manualClock{t: float64(rank) * 1e6}
+		r := span.NewRecorder(rank, clk.now)
+		for c := 0; c < colls; c++ {
+			cw := r.Begin(span.CollWrite)
+			for rd := 0; rd < rounds; rd++ {
+				roundSpan := r.Begin(span.Round)
+				roundSpan.SetRound(rd)
+				p := r.Begin(span.Pack)
+				clk.t += 0.001
+				p.End()
+				e := r.Begin(span.Exchange)
+				clk.t += exch(rank, c, rd)
+				e.End()
+				a := r.Begin(span.AggWrite)
+				clk.t += agg(rank, c, rd)
+				a.End()
+				// Agreement sync: every rank's round ends at the max work
+				// time; emulate by padding the clock to a common width.
+				clk.t += 0.5
+				roundSpan.End()
+			}
+			cw.End()
+		}
+		out = append(out, r.Spans()...)
+	}
+	return out
+}
+
+func TestCriticalPathNamesBoundingRankAndPhase(t *testing.T) {
+	// 3 ranks, 2 collectives, 2 rounds. Designed stragglers:
+	//   coll 0 round 0: rank 2's agg_write (50ms vs 1ms)
+	//   coll 0 round 1: rank 1's exchange  (80ms vs 2ms)
+	//   coll 1 round 0: rank 0's agg_write (60ms)
+	//   coll 1 round 1: rank 2's exchange  (90ms)
+	exch := func(rank, c, rd int) float64 {
+		if c == 0 && rd == 1 && rank == 1 {
+			return 0.080
+		}
+		if c == 1 && rd == 1 && rank == 2 {
+			return 0.090
+		}
+		return 0.002
+	}
+	agg := func(rank, c, rd int) float64 {
+		if c == 0 && rd == 0 && rank == 2 {
+			return 0.050
+		}
+		if c == 1 && rd == 0 && rank == 0 {
+			return 0.060
+		}
+		return 0.001
+	}
+	spans := buildWorld(3, 2, 2, exch, agg)
+	rcs := span.CriticalPath(spans)
+	if len(rcs) != 4 {
+		t.Fatalf("got %d round reports, want 4: %+v", len(rcs), rcs)
+	}
+	want := []struct {
+		coll, round, rank int
+		phase             string
+	}{
+		{0, 0, 2, span.AggWrite},
+		{0, 1, 1, span.Exchange},
+		{1, 0, 0, span.AggWrite},
+		{1, 1, 2, span.Exchange},
+	}
+	for i, w := range want {
+		rc := rcs[i]
+		if rc.Coll != w.coll || rc.Round != w.round {
+			t.Fatalf("report %d keyed (%d,%d), want (%d,%d)", i, rc.Coll, rc.Round, w.coll, w.round)
+		}
+		if rc.Rank != w.rank || rc.Phase != w.phase {
+			t.Errorf("coll %d round %d bounded by rank %d phase %q, want rank %d phase %q",
+				rc.Coll, rc.Round, rc.Rank, rc.Phase, w.rank, w.phase)
+		}
+		if rc.Ranks != 3 {
+			t.Errorf("coll %d round %d Ranks = %d, want 3", rc.Coll, rc.Round, rc.Ranks)
+		}
+		if rc.Work <= rc.Min || rc.Spread() <= 1 {
+			t.Errorf("coll %d round %d work=%v min=%v spread=%v: no straggler signal",
+				rc.Coll, rc.Round, rc.Work, rc.Min, rc.Spread())
+		}
+	}
+	counts := span.BoundCounts(rcs)
+	if counts[2] != 2 || counts[1] != 1 || counts[0] != 1 {
+		t.Fatalf("BoundCounts = %v", counts)
+	}
+}
+
+func TestCriticalPathSingleRank(t *testing.T) {
+	f := func(rank, c, rd int) float64 { return 0.01 }
+	spans := buildWorld(1, 1, 3, f, f)
+	rcs := span.CriticalPath(spans)
+	if len(rcs) != 3 {
+		t.Fatalf("got %d reports, want 3", len(rcs))
+	}
+	for _, rc := range rcs {
+		if rc.Rank != 0 || rc.Ranks != 1 {
+			t.Fatalf("single-rank report = %+v", rc)
+		}
+	}
+}
+
+func TestCriticalPathEmptyAndNoRounds(t *testing.T) {
+	if rcs := span.CriticalPath(nil); len(rcs) != 0 {
+		t.Fatalf("empty trace produced %d reports", len(rcs))
+	}
+	// Spans with no round phases at all (e.g. independent I/O only).
+	r := span.NewRecorder(0, nil)
+	r.Begin(span.NCPut).End()
+	if rcs := span.CriticalPath(r.Spans()); len(rcs) != 0 {
+		t.Fatalf("roundless trace produced %d reports", len(rcs))
+	}
+}
+
+// TestCriticalPathUnevenRanks: a round recorded by only a subset of ranks
+// is analyzed over the ranks present.
+func TestCriticalPathUnevenRanks(t *testing.T) {
+	f := func(rank, c, rd int) float64 { return 0.01 * float64(rank+1) }
+	spans := buildWorld(2, 1, 1, f, f)
+	// Drop a third rank in by hand with only a round span, no collective
+	// parent and no children.
+	spans = append(spans, span.Span{
+		ID: 999, Rank: 7, Phase: span.Round, Round: 0, Start: 0, End: 0.2,
+	})
+	rcs := span.CriticalPath(spans)
+	// Rank 7's orphan round groups separately (no coll parent → coll -1).
+	if len(rcs) != 2 {
+		t.Fatalf("got %d reports, want 2: %+v", len(rcs), rcs)
+	}
+	if rcs[0].Coll != -1 || rcs[0].Rank != 7 || rcs[0].Ranks != 1 {
+		t.Fatalf("orphan report = %+v", rcs[0])
+	}
+	if rcs[1].Ranks != 2 || rcs[1].Rank != 1 {
+		t.Fatalf("main report = %+v", rcs[1])
+	}
+}
+
+func TestPhaseLoadAndHistogram(t *testing.T) {
+	f := func(rank, c, rd int) float64 { return 0.01 }
+	agg := func(rank, c, rd int) float64 { return 0.010 * float64(rank+1) }
+	spans := buildWorld(4, 1, 2, f, agg)
+	load := span.PhaseLoad(spans, span.AggWrite)
+	if len(load.PerRank) != 4 || load.MaxRank != 3 {
+		t.Fatalf("load = %+v", load)
+	}
+	// rank r does 2 rounds × 10ms(r+1): 20,40,60,80ms; mean 50ms; max/mean 1.6.
+	if ib := load.Imbalance(); ib < 1.59 || ib > 1.61 {
+		t.Fatalf("Imbalance() = %v, want 1.6", ib)
+	}
+	counts, labels := load.Histogram(3)
+	if len(counts) != 3 || len(labels) != 3 {
+		t.Fatalf("histogram = %v / %v", counts, labels)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 4 {
+		t.Fatalf("histogram counted %d ranks, want 4", total)
+	}
+
+	loads := span.AllLoads(spans)
+	if len(loads) == 0 || loads[0].Phase != span.AggWrite {
+		t.Fatalf("AllLoads most-imbalanced = %+v", loads[:1])
+	}
+	// Uniform phase: histogram of identical values collapses to one bucket.
+	// (Built without clock skew so the durations are bit-identical.)
+	uniform := []span.Span{
+		{ID: 1, Rank: 0, Phase: span.Pack, Start: 0, End: 1},
+		{ID: 1, Rank: 1, Phase: span.Pack, Start: 5, End: 6},
+	}
+	packLoad := span.PhaseLoad(uniform, span.Pack)
+	counts, _ = packLoad.Histogram(3)
+	if len(counts) != 1 || counts[0] != 2 {
+		t.Fatalf("uniform histogram = %v", counts)
+	}
+}

@@ -12,6 +12,10 @@
 #   FAULT=1  re-run the fault-injection suites under the race detector and
 #            drive a FLASH checkpoint at a 1% transient fault rate with a
 #            fixed seed; the run must complete and account its retries.
+#   TRACE=1  smoke the span pipeline: a small collective write with
+#            -span-out, then nctrace timeline/critical/imbalance over the
+#            emitted Chrome trace (which must parse and name a critical
+#            path).
 set -eu
 
 cd "$(dirname "$0")"
@@ -36,6 +40,19 @@ if [ "${FAULT:-0}" = "1" ]; then
         ./internal/mpiio/ ./internal/core/ ./internal/integration/
     go run ./cmd/flashio-bench -block 8 -procs 8 -blocks-per-proc 20 \
         -files checkpoint -fault-rate 0.01 -fault-seed 2003 -stats
+fi
+
+if [ "${TRACE:-0}" = "1" ]; then
+    mkdir -p results
+    go run ./cmd/flashio-bench -block 8 -procs 8 -blocks-per-proc 4 \
+        -files checkpoint -span-out results/TRACE_spans.json \
+        -trace results/TRACE_events.jsonl -stats
+    go run ./cmd/nctrace timeline results/TRACE_spans.json > /dev/null
+    go run ./cmd/nctrace critical results/TRACE_spans.json \
+        | grep agg_write > /dev/null \
+        || { echo "TRACE: critical path is empty" >&2; exit 1; }
+    go run ./cmd/nctrace imbalance results/TRACE_spans.json > /dev/null
+    go run ./cmd/nctrace results/TRACE_events.jsonl > /dev/null
 fi
 
 echo "verify: OK"
