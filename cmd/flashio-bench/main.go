@@ -54,6 +54,7 @@ var (
 	metricsAt = flag.String("metrics-addr", "", "serve live JSON metrics on this address for the duration of the sweep")
 	jsonOut   = flag.String("json", "", "write machine-readable results (implies -stats) to this file")
 	faultRate = flag.Float64("fault-rate", 0, "transient-fault probability per 64 KiB transferred (0 disables injection)")
+	cbPart    = flag.String("cb-partition", "", "two-phase file-domain partitioning: even or balanced (default: library default)")
 	faultSeed = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
 	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -158,6 +159,7 @@ func main() {
 				Trace:   trace,
 				Spans:   spans,
 				Fault:   bench.FaultOptions{Rate: *faultRate, Seed: *faultSeed},
+				Hints:   cmdutil.PartitionHints(*cbPart),
 			})
 			cmdutil.Fatal(tool, err)
 			bench.WriteFigure7(os.Stdout, fig)

@@ -70,6 +70,9 @@ type Fig7Options struct {
 	// Fault injects deterministic transient faults into the runs; the
 	// retry counters in Stats show the recovery cost.
 	Fault FaultOptions
+	// Hints are MPI-IO hints passed to the PnetCDF runs (e.g.
+	// cb_partition=balanced). Nil uses the defaults.
+	Hints *mpi.Info
 }
 
 // RunFigure7 measures one chart.
@@ -131,7 +134,7 @@ func runFlashOnce(opt Fig7Options, nprocs int, hdf5 bool) (flash.Report, *iostat
 			c.Barrier()
 			r, err = flash.ReadCheckpointH5(c, fsys, "f.h5", opt.Config, nil)
 		case opt.Read:
-			if _, err = flash.WriteCheckpointPnetCDF(c, fsys, "f.nc", opt.Config, nil); err != nil {
+			if _, err = flash.WriteCheckpointPnetCDF(c, fsys, "f.nc", opt.Config, opt.Hints); err != nil {
 				return err
 			}
 			fsys.ResetClock()
@@ -139,7 +142,7 @@ func runFlashOnce(opt Fig7Options, nprocs int, hdf5 bool) (flash.Report, *iostat
 			c.Proc().Stats().Reset()
 			c.Proc().Spans().Reset()
 			c.Barrier()
-			r, err = flash.ReadCheckpointPnetCDF(c, fsys, "f.nc", opt.Config, nil)
+			r, err = flash.ReadCheckpointPnetCDF(c, fsys, "f.nc", opt.Config, opt.Hints)
 		case hdf5 && opt.File == FlashCheckpoint:
 			r, err = flash.WriteCheckpointH5(c, fsys, "f.h5", opt.Config, nil)
 		case hdf5 && opt.File == FlashPlotfile:
@@ -147,11 +150,11 @@ func runFlashOnce(opt Fig7Options, nprocs int, hdf5 bool) (flash.Report, *iostat
 		case hdf5 && opt.File == FlashCorners:
 			r, err = flash.WriteCornerPlotfileH5(c, fsys, "f.h5", opt.Config, nil)
 		case opt.File == FlashCheckpoint:
-			r, err = flash.WriteCheckpointPnetCDF(c, fsys, "f.nc", opt.Config, nil)
+			r, err = flash.WriteCheckpointPnetCDF(c, fsys, "f.nc", opt.Config, opt.Hints)
 		case opt.File == FlashPlotfile:
-			r, err = flash.WritePlotfilePnetCDF(c, fsys, "f.nc", opt.Config, nil)
+			r, err = flash.WritePlotfilePnetCDF(c, fsys, "f.nc", opt.Config, opt.Hints)
 		default:
-			r, err = flash.WriteCornerPlotfilePnetCDF(c, fsys, "f.nc", opt.Config, nil)
+			r, err = flash.WriteCornerPlotfilePnetCDF(c, fsys, "f.nc", opt.Config, opt.Hints)
 		}
 		if err != nil {
 			return err

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"pnetcdf/internal/flash"
+	"pnetcdf/internal/mpi"
+	"pnetcdf/internal/pfs"
+	"pnetcdf/internal/span"
+)
+
+// TestFlashBalancedPartitionAcceptance is the acceptance check for
+// balanced file domains: an 8-rank FLASH checkpoint under
+// cb_partition=balanced must (a) write a file byte-identical to even mode
+// — partitioning may never change semantics — and (b) spread the
+// aggregator write byte-load to max/mean <= 1.3x, with the plan_domain
+// spans recording a plan that execution actually followed.
+func TestFlashBalancedPartitionAcceptance(t *testing.T) {
+	cfg := flash.Default8()
+	run := func(mode string) ([]byte, []span.Span) {
+		t.Helper()
+		fsys := pfs.New(pfs.DefaultConfig())
+		sink := new(span.Sink)
+		err := mpi.Run(8, mpi.DefaultNet(), func(c *mpi.Comm) error {
+			proc := c.Proc()
+			proc.SetSpans(span.NewRecorder(c.Rank(), proc.Clock))
+			info := mpi.NewInfo().Set("cb_partition", mode)
+			if _, err := flash.WriteCheckpointPnetCDF(c, fsys, "f.nc", cfg, info); err != nil {
+				return err
+			}
+			merged, dropped := span.Gather(c, proc.Spans())
+			if c.Rank() == 0 {
+				sink.Replace(merged, dropped)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		pf, _, err := fsys.Open("f.nc", 0)
+		if err != nil {
+			t.Fatalf("mode %s: reopen: %v", mode, err)
+		}
+		img := make([]byte, pf.Size())
+		if _, err := pf.ReadAt(0, img, 0); err != nil {
+			t.Fatalf("mode %s: raw read: %v", mode, err)
+		}
+		spans, _ := sink.Snapshot()
+		return img, spans
+	}
+
+	evenImg, evenSpans := run("even")
+	balImg, balSpans := run("balanced")
+
+	if !bytes.Equal(evenImg, balImg) {
+		t.Fatalf("balanced checkpoint differs from even: %d vs %d bytes", len(balImg), len(evenImg))
+	}
+
+	evenLoad := PhaseByteImbalance(evenSpans)
+	balLoad := PhaseByteImbalance(balSpans)
+	if balLoad <= 0 {
+		t.Fatal("balanced run recorded no aggregator write bytes")
+	}
+	if balLoad > 1.3 {
+		t.Fatalf("balanced agg_write byte imbalance %.3fx, want <= 1.3x (even mode: %.3fx)",
+			balLoad, evenLoad)
+	}
+
+	// The plan must be visible (plan_domain spans) and honest: per
+	// aggregator, the bytes actually written match the planned load.
+	pa := span.PlannedVsActual(balSpans)
+	if len(pa) == 0 {
+		t.Fatal("balanced run emitted no plan_domain spans")
+	}
+	for _, p := range pa {
+		if p.Planned <= 0 {
+			t.Fatalf("rank %d: nonpositive planned bytes %d", p.Rank, p.Planned)
+		}
+		if p.Actual != p.Planned {
+			t.Fatalf("rank %d: planned %d bytes but wrote %d", p.Rank, p.Planned, p.Actual)
+		}
+	}
+	if evenPA := span.PlannedVsActual(evenSpans); evenPA != nil {
+		t.Fatalf("even mode must not emit plan_domain spans, got %d", len(evenPA))
+	}
+}
+
+// PhaseByteImbalance is the agg_write byte-load spread (max/mean).
+func PhaseByteImbalance(spans []span.Span) float64 {
+	return span.PhaseLoad(spans, span.AggWrite).ByteImbalance()
+}

@@ -352,6 +352,10 @@ func (d *Dataset) putFlex(varid int, start, count, stride []int64, data any, mem
 	if err == nil {
 		d.recordAccess("put", collective, iostat.NCCollPuts, iostat.NCIndepPuts,
 			iostat.NCBytesPut, iostat.NCPutTimeNs, int64(len(ext)), t0)
+		// netCDF range semantics, as the serial library implements them:
+		// out-of-range values were written wrapped and NC_ERANGE is
+		// reported after the (successful) write.
+		return encErr
 	}
 	return err
 }
@@ -376,15 +380,6 @@ func (d *Dataset) recordAccess(op string, collective bool, coll, indep, bytes, t
 	})
 }
 
-// agreeNumRecs adopts the communicator-wide maximum record count without
-// persisting it: the read-side reconciliation at a collective boundary.
-func (d *Dataset) agreeNumRecs() {
-	agreed := d.comm.AllreduceI64([]int64{d.hdr.NumRecs}, mpi.OpMax)[0]
-	if agreed > d.hdr.NumRecs {
-		d.hdr.NumRecs = agreed
-	}
-}
-
 // getFlex is the single read path.
 func (d *Dataset) getFlex(varid int, start, count, stride []int64, data any, memsegs []mpitype.Segment, memSize int64, collective bool) error {
 	sc := d.sp.Begin(span.NCGet)
@@ -395,9 +390,27 @@ func (d *Dataset) getFlex(varid int, start, count, stride []int64, data any, mem
 	// Collective boundary: agree on the record count BEFORE validating, so a
 	// rank that has not seen a peer's record growth neither rejects a valid
 	// request nor (worse) bails out of the collective while its peers
-	// proceed into the exchange — the stale-NumRecs window.
+	// proceed into the exchange — the stale-NumRecs window. The same
+	// allreduce folds in the nonblocking-write flag: a blocking read of a
+	// variable with a queued IPutVara (on ANY rank) would observe stale
+	// file data, so every rank agrees to return ErrPending together —
+	// nobody proceeds into the exchange alone.
 	if collective {
-		d.agreeNumRecs()
+		pend := int64(0)
+		if d.pendingWrite(varid) {
+			pend = 1
+		}
+		agreed := d.comm.AllreduceI64([]int64{d.hdr.NumRecs, pend}, mpi.OpMax)
+		if agreed[0] > d.hdr.NumRecs {
+			d.hdr.NumRecs = agreed[0]
+		}
+		if agreed[1] != 0 {
+			return nctype.ErrPending
+		}
+	} else if d.pendingWrite(varid) {
+		// Independent reads check locally: the stale window is the local
+		// queue (peer queues are invisible to independent I/O anyway).
+		return nctype.ErrPending
 	}
 	v, err := d.varByID(varid)
 	if err != nil {

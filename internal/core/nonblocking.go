@@ -21,12 +21,20 @@ import (
 // FLASH unknowns — reach the file system as one large, mostly contiguous
 // request instead of many small ones.
 
+// Consistency note: between IPutVara and WaitAll the queued data exists
+// only in the queue — the file still holds the old bytes. IPutVara
+// invalidates the local prefetched copy, but a *blocking* GetVara issued in
+// that window would read the file and observe stale data. The data paths
+// guard the window: a blocking read of a variable with a queued write
+// returns nctype.ErrPending (see getFlex) until WaitAll lands the write.
 type pendingOp struct {
-	write bool
-	v     *cdf.Var
-	req   access.Request
-	ext   []byte // writes: encoded external data
-	data  any    // reads: destination buffer
+	write    bool
+	varid    int
+	v        *cdf.Var
+	req      access.Request
+	ext      []byte // writes: encoded external data
+	data     any    // reads: destination buffer
+	rangeErr error  // writes: deferred NC_ERANGE from the conversion
 }
 
 // IPutVara queues a nonblocking subarray write. The data is converted and
@@ -56,7 +64,11 @@ func (d *Dataset) IPutVara(varid int, start, count []int64, data any) (int, erro
 		return -1, encErr
 	}
 	d.invalidate(varid)
-	d.pending = append(d.pending, pendingOp{write: true, v: v, req: req, ext: ext})
+	// netCDF range semantics: out-of-range values are written wrapped and
+	// NC_ERANGE is reported — but the write is queued, so the error is
+	// deferred with the operation and surfaced by WaitAll, matching the
+	// blocking PutVara's return.
+	d.pending = append(d.pending, pendingOp{write: true, varid: varid, v: v, req: req, ext: ext, rangeErr: encErr})
 	return len(d.pending) - 1, nil
 }
 
@@ -77,8 +89,19 @@ func (d *Dataset) IGetVara(varid int, start, count []int64, data any) (int, erro
 	if cdf.SliceLen(data) < int(req.NElems) {
 		return -1, nctype.ErrCountMismatch
 	}
-	d.pending = append(d.pending, pendingOp{write: false, v: v, req: req, data: data})
+	d.pending = append(d.pending, pendingOp{write: false, varid: varid, v: v, req: req, data: data})
 	return len(d.pending) - 1, nil
+}
+
+// pendingWrite reports whether a queued (not yet waited) write targets
+// varid — the stale-read window getFlex guards against.
+func (d *Dataset) pendingWrite(varid int) bool {
+	for i := range d.pending {
+		if d.pending[i].write && d.pending[i].varid == varid {
+			return true
+		}
+	}
+	return false
 }
 
 // PendingRequests reports the queue length.
@@ -87,6 +110,18 @@ func (d *Dataset) PendingRequests() int { return len(d.pending) }
 // WaitAll collectively completes all queued requests: one fused collective
 // write followed by one fused collective read. Every process must call it,
 // even with an empty queue.
+//
+// The queue is consumed by completion — success OR error. The fused
+// accesses agree their errors collectively, so on failure every rank
+// returns the same error with an empty queue: a caller that retries
+// WaitAll after a transient fault re-runs an empty (no-op) batch instead
+// of double-applying the queued writes, and Close no longer wedges on
+// "nonblocking requests pending" with no way to drain them.
+//
+// If the batch itself succeeds but a queued IPutVara converted
+// out-of-range values, WaitAll returns cdf.ErrRange after completing every
+// operation — the deferred form of the blocking path's "write wrapped
+// values, report NC_ERANGE" contract.
 func (d *Dataset) WaitAll() error {
 	if err := d.checkData(); err != nil {
 		return err
@@ -94,6 +129,13 @@ func (d *Dataset) WaitAll() error {
 	if d.indep {
 		return nctype.ErrIndepMode
 	}
+	err := d.waitAll()
+	d.pending = d.pending[:0]
+	return err
+}
+
+// waitAll runs the fused batch; WaitAll clears the queue around it.
+func (d *Dataset) waitAll() error {
 	var writes, reads []*pendingOp
 	for i := range d.pending {
 		op := &d.pending[i]
@@ -103,31 +145,62 @@ func (d *Dataset) WaitAll() error {
 			reads = append(reads, op)
 		}
 	}
-	// Agree on record growth across every queued write on every process.
+	// Agree on record growth — and on whether any rank queued a write at
+	// all — across every process in one reduction.
 	last := int64(-1)
 	for _, op := range writes {
 		if op.req.LastRecord > last {
 			last = op.req.LastRecord
 		}
 	}
-	last = d.comm.AllreduceI64([]int64{last}, mpi.OpMax)[0]
-	if last >= d.hdr.NumRecs {
+	anyWrites := int64(0)
+	if len(writes) > 0 {
+		anyWrites = 1
+	}
+	agreed := d.comm.AllreduceI64([]int64{last, anyWrites}, mpi.OpMax)
+	if last = agreed[0]; last >= d.hdr.NumRecs {
 		d.hdr.NumRecs = last + 1
 		if err := d.writeNumRecs(); err != nil {
 			return err
 		}
 	}
-	// Fused write.
-	wview, wbuf, _, err := fuse(d.hdr, writes)
-	if err != nil {
-		return err
+	// Fused write — skipped collectively when no rank queued one, so a
+	// read-only batch never issues a collective write (which a NoWrite
+	// file would refuse).
+	if agreed[1] != 0 {
+		wview, wbuf, _, err := fuse(d.hdr, writes)
+		if err != nil {
+			return err
+		}
+		if err := d.f.SetView(0, wview); err != nil {
+			return err
+		}
+		if err := d.f.WriteAtAll(0, wbuf); err != nil {
+			return err
+		}
 	}
-	if err := d.f.SetView(0, wview); err != nil {
-		return err
+	// Serve reads of prefetched variables from the local copy, like the
+	// blocking path does — the fused collective read covers only the
+	// misses. The file-system collective below still runs on every rank
+	// (with an empty request where everything was cached), so ranks whose
+	// caches diverge — invalidation is local — stay in lockstep.
+	uncached := reads[:0]
+	for _, op := range reads {
+		if _, ok := d.cache[op.varid]; !ok {
+			uncached = append(uncached, op)
+			continue
+		}
+		ext := make([]byte, int(op.req.NElems)*op.v.Type.Size())
+		d.cachedRead(op.varid, op.req, ext)
+		linear, err := netcdf.SliceHead(op.data, op.req.NElems)
+		if err != nil {
+			return err
+		}
+		if err := cdf.DecodeSlice(ext, op.v.Type, linear); err != nil {
+			return err
+		}
 	}
-	if err := d.f.WriteAtAll(0, wbuf); err != nil {
-		return err
-	}
+	reads = uncached
 	// Fused read.
 	rview, rbuf, windows, err := fuse(d.hdr, reads)
 	if err != nil {
@@ -163,7 +236,12 @@ func (d *Dataset) WaitAll() error {
 			return err
 		}
 	}
-	d.pending = d.pending[:0]
+	// Every operation landed; surface any deferred conversion range error.
+	for _, op := range writes {
+		if op.rangeErr != nil {
+			return op.rangeErr
+		}
+	}
 	return nil
 }
 

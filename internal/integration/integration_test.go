@@ -402,6 +402,9 @@ func TestHintSweepConsistency(t *testing.T) {
 		mpi.NewInfo().Set("cb_nodes", "2"),
 		mpi.NewInfo().Set("cb_buffer_size", "8192"),
 		mpi.NewInfo().Set("nc_header_align_size", "1024"),
+		mpi.NewInfo().Set("cb_partition", "balanced"),
+		mpi.NewInfo().Set("cb_partition", "balanced").Set("cb_partition_buckets", "16"),
+		mpi.NewInfo().Set("cb_partition", "balanced").Set("cb_nodes", "2").Set("cb_buffer_size", "8192"),
 	}
 	var reference []float64
 	for hi, info := range hints {

@@ -283,11 +283,20 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 	return nil
 }
 
-// collectivePlan holds the agreed two-phase geometry.
+// collectivePlan holds the agreed two-phase geometry. Boundaries are an
+// explicit table: bounds[k] separates aggregator k-1's file domain from
+// aggregator k's (bounds[0] = gmin, bounds[naggs] = gmax), so even and
+// balanced partitioning share one representation. aggRanks maps aggregator
+// index to communicator rank; aggOf is its precomputed inverse (-1 = rank
+// serves no domain). planned is the per-aggregator histogram byte estimate,
+// nil in even mode (which computes no histogram).
 type collectivePlan struct {
 	gmin, gmax int64
 	naggs      int
-	domain     int64
+	bounds     []int64
+	aggRanks   []int
+	aggOf      []int
+	planned    []int64
 	rounds     int64
 	cbbuf      int64
 	stripe     int64
@@ -335,51 +344,92 @@ func (f *File) collectivePlan(segs []pfs.Segment, localErr error) (collectivePla
 		return collectivePlan{}, false, nil
 	}
 	naggs := min(f.hints.CBNodes, f.comm.Size())
-	width := gmax - gmin
-	domain := (width + int64(naggs) - 1) / int64(naggs)
 	stripe := f.fs.Config().StripeSize
-	domain = (domain + stripe - 1) / stripe * stripe
-	rounds := (domain + f.hints.CBBufferSize - 1) / f.hints.CBBufferSize
-	return collectivePlan{
-		gmin: gmin, gmax: gmax, naggs: naggs, domain: domain,
-		rounds: rounds, cbbuf: f.hints.CBBufferSize, stripe: stripe,
-		commSize: f.comm.Size(),
-	}, true, nil
-}
-
-// aggRank maps aggregator index a to a communicator rank, spreading
-// aggregators evenly.
-func (p collectivePlan) aggRank(a int) int { return a * p.commSize / p.naggs }
-
-// aggIndex returns the aggregator index served by rank, or -1.
-func (p collectivePlan) aggIndex(rank int) int {
-	for a := 0; a < p.naggs; a++ {
-		if p.aggRank(a) == rank {
-			return a
+	p := collectivePlan{
+		gmin: gmin, gmax: gmax, naggs: naggs,
+		cbbuf: f.hints.CBBufferSize, stripe: stripe, commSize: f.comm.Size(),
+	}
+	if f.hints.CBPartition == PartitionBalanced {
+		// Equal-work boundaries from the combined request histogram, plus
+		// data-local aggregator placement (two extra Allreduces — balanced
+		// mode only, so the even path's cost and clock are untouched).
+		hist := newPartitionHistogram(gmin, gmax, stripe, f.hints.CBPartitionBuckets)
+		hist.add(segs)
+		hist.counts = f.comm.AllreduceI64(hist.counts, mpi.OpSum)
+		if hist.total() > 0 {
+			// The table may hold fewer than naggs domains: the partitioner
+			// shrinks the domain count when there is too little work to
+			// keep naggs aggregators evenly busy (see effectiveDomains).
+			p.bounds, p.planned = hist.equalWorkBounds(gmin, gmax, naggs)
+			p.naggs = len(p.bounds) - 1
+		} else {
+			p.bounds = evenBounds(gmin, gmax, naggs, stripe)
+		}
+		p.aggRanks = placeAggregators(f.comm, p.bounds, segs)
+		f.st.Add(iostat.IOBalancedPlans, 1)
+	} else {
+		p.bounds = evenBounds(gmin, gmax, naggs, stripe)
+		p.aggRanks = evenAggRanks(naggs, p.commSize)
+	}
+	p.aggOf = invertAggRanks(p.aggRanks, p.commSize)
+	p.rounds = roundsFor(p.bounds, p.cbbuf)
+	if f.hints.CBPartition != PartitionBalanced {
+		// Preserve the historical even-mode round count (derived from the
+		// nominal stripe-rounded width, which can exceed every actual
+		// domain): trailing empty-window rounds cost the same collectives
+		// they always did, keeping even-mode timing bit-identical. The
+		// roundsFor floor still applies — with an unaligned gmin the tail
+		// domain can be wider than the nominal width, and the old count
+		// left its last cb_buffer_size chunk uncovered.
+		width := gmax - gmin
+		nominal := (width + int64(naggs) - 1) / int64(naggs)
+		nominal = (nominal + stripe - 1) / stripe * stripe
+		if r := (nominal + p.cbbuf - 1) / p.cbbuf; r > p.rounds {
+			p.rounds = r
 		}
 	}
-	return -1
+	f.recordPlan(p)
+	return p, true, nil
 }
 
-// boundary returns the file offset separating aggregator k-1's domain from
-// aggregator k's. Interior boundaries are aligned to absolute stripe
-// positions (ROMIO's file-domain alignment), so collective writes touch at
-// most two partial stripe blocks in total — the first and last of the
-// aggregate range — avoiding the file system's partial-block
-// read-modify-write penalty. Both neighbors compute their shared boundary
-// with this one function, so domains never overlap: an unaligned boundary
-// at or past gmax clamps to gmax for BOTH sides (aligning it down only on
-// one side would hand the tail stripe to two aggregators).
-func (p collectivePlan) boundary(k int) int64 {
-	if k <= 0 {
-		return p.gmin
+// recordPlan exposes the balanced plan to the observability layer: one
+// zero-duration plan_domain span per domain on the rank serving it (Round =
+// aggregator index, Bytes = the histogram's planned byte load — nctrace
+// imbalance compares it against the actual agg_write bytes), and one mpiio
+// trace event carrying the domain boundaries (Off/Len). Even mode records
+// nothing; it has no histogram and its plan is closed-form.
+func (f *File) recordPlan(p collectivePlan) {
+	if p.planned == nil {
+		return
 	}
-	b := p.gmin + int64(k)*p.domain
-	if b >= p.gmax {
-		return p.gmax
+	a := p.aggIndex(f.comm.Rank())
+	if a < 0 {
+		return
 	}
-	return b / p.stripe * p.stripe
+	now := f.comm.Clock()
+	f.sp.Record(span.PlanDomain, a, now, now, p.planned[a])
+	f.tr.Record(iostat.Event{
+		Layer: "mpiio", Op: "plan_domain", Rank: f.comm.Rank(),
+		Off: p.bounds[a], Len: p.bounds[a+1] - p.bounds[a], Start: now, End: now,
+	})
 }
+
+// aggRank maps aggregator index a to the communicator rank serving it.
+func (p collectivePlan) aggRank(a int) int { return p.aggRanks[a] }
+
+// aggIndex returns the aggregator index served by rank, or -1. A table
+// lookup: the old closed-form spread needed an O(naggs) scan per call.
+func (p collectivePlan) aggIndex(rank int) int { return p.aggOf[rank] }
+
+// boundary returns the file offset separating aggregator k-1's domain from
+// aggregator k's. Interior boundaries sit on absolute stripe positions
+// (ROMIO's file-domain alignment), so collective writes touch at most two
+// partial stripe blocks in total — the first and last of the aggregate
+// range — avoiding the file system's partial-block read-modify-write
+// penalty. The table is monotone and shared by both neighbors, so domains
+// never overlap and never leave gaps: bounds[0] = gmin, bounds[naggs] =
+// gmax exactly.
+func (p collectivePlan) boundary(k int) int64 { return p.bounds[k] }
 
 // window returns aggregator a's byte range for round r.
 func (p collectivePlan) window(a int, r int64) (lo, hi int64) {

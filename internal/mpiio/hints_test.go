@@ -1,6 +1,7 @@
 package mpiio
 
 import (
+	"os"
 	"testing"
 
 	"pnetcdf/internal/mpi"
@@ -54,6 +55,37 @@ func TestResolveHintsClamping(t *testing.T) {
 		if h.CBBufferSize != 4096 {
 			t.Errorf("cb_buffer_size=4096: %d", h.CBBufferSize)
 		}
+
+		// PNETCDF_CB_PARTITION changes the ambient default (verify.sh runs
+		// this suite under balanced); the hint still overrides either way.
+		wantDefault := PartitionEven
+		if v := os.Getenv("PNETCDF_CB_PARTITION"); v == PartitionBalanced {
+			wantDefault = PartitionBalanced
+		}
+		if def.CBPartition != wantDefault {
+			t.Errorf("default CBPartition = %q, want %q", def.CBPartition, wantDefault)
+		}
+		h = resolveHints(c, mpi.NewInfo().Set("cb_partition", "balanced"))
+		if h.CBPartition != PartitionBalanced {
+			t.Errorf("cb_partition=balanced: %q", h.CBPartition)
+		}
+		for _, bad := range []string{"round-robin", "", "BALANCED"} {
+			h = resolveHints(c, mpi.NewInfo().Set("cb_partition", bad))
+			if h.CBPartition != wantDefault {
+				t.Errorf("cb_partition=%q: %q, want fallback to %q", bad, h.CBPartition, wantDefault)
+			}
+		}
+		for _, bad := range []string{"0", "-3", "junk", "2000000"} {
+			h = resolveHints(c, mpi.NewInfo().Set("cb_partition_buckets", bad))
+			if h.CBPartitionBuckets != def.CBPartitionBuckets {
+				t.Errorf("cb_partition_buckets=%q: %d, want default %d",
+					bad, h.CBPartitionBuckets, def.CBPartitionBuckets)
+			}
+		}
+		h = resolveHints(c, mpi.NewInfo().Set("cb_partition_buckets", "32"))
+		if h.CBPartitionBuckets != 32 {
+			t.Errorf("cb_partition_buckets=32: %d", h.CBPartitionBuckets)
+		}
 		return nil
 	})
 	if err != nil {
@@ -68,16 +100,17 @@ func TestResolveHintsClamping(t *testing.T) {
 // handing the tail stripe to two aggregators.
 func TestCollectivePlanDomainsPartition(t *testing.T) {
 	cases := []collectivePlan{
-		// gmax unaligned, domain overshoots gmax for the last aggregators.
-		{gmin: 1492, gmax: 2643408, naggs: 8, domain: 393216, stripe: 262144, cbbuf: 16 << 20, commSize: 8},
+		// gmax unaligned, even width overshoots gmax for the last aggregators.
+		{gmin: 1492, gmax: 2643408, naggs: 8, stripe: 262144, cbbuf: 16 << 20, commSize: 8},
 		// aligned everything
-		{gmin: 0, gmax: 1 << 20, naggs: 4, domain: 262144, stripe: 262144, cbbuf: 16 << 20, commSize: 4},
+		{gmin: 0, gmax: 1 << 20, naggs: 4, stripe: 262144, cbbuf: 16 << 20, commSize: 4},
 		// single aggregator
-		{gmin: 7, gmax: 1000, naggs: 1, domain: 993, stripe: 256, cbbuf: 4096, commSize: 3},
+		{gmin: 7, gmax: 1000, naggs: 1, stripe: 256, cbbuf: 4096, commSize: 3},
 		// tiny range, many aggregators: most get empty windows
-		{gmin: 100, gmax: 300, naggs: 6, domain: 256, stripe: 256, cbbuf: 4096, commSize: 6},
+		{gmin: 100, gmax: 300, naggs: 6, stripe: 256, cbbuf: 4096, commSize: 6},
 	}
 	for ci, p := range cases {
+		p.bounds = evenBounds(p.gmin, p.gmax, p.naggs, p.stripe)
 		prevHi := p.gmin
 		covered := int64(0)
 		for a := 0; a < p.naggs; a++ {

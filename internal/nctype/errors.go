@@ -37,4 +37,5 @@ var (
 	ErrIndepMode   = errors.New("pnetcdf: collective call while in independent data mode")
 	ErrCollMode    = errors.New("pnetcdf: independent call while in collective data mode")
 	ErrNullComm    = errors.New("pnetcdf: nil communicator")
+	ErrPending     = errors.New("pnetcdf: variable has a pending nonblocking write; call WaitAll before reading")
 )

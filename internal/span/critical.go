@@ -220,6 +220,70 @@ func (l Load) Imbalance() float64 {
 	return l.Max / l.Mean
 }
 
+// ByteImbalance returns max/mean of the per-rank byte totals (1.0 =
+// perfectly balanced; 0 when the phase moved no bytes). For aggregator
+// phases this is the byte-load spread the balanced partitioner minimizes —
+// unlike Imbalance it is independent of per-rank timing noise.
+func (l Load) ByteImbalance() float64 {
+	var max, sum int64
+	for _, rl := range l.PerRank {
+		sum += rl.Bytes
+		if rl.Bytes > max {
+			max = rl.Bytes
+		}
+	}
+	if sum <= 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(l.PerRank))
+	return float64(max) / mean
+}
+
+// PlannedActual pairs one aggregator rank's planned domain bytes with the
+// bytes it actually moved.
+type PlannedActual struct {
+	Rank    int
+	Planned int64 // sum of plan_domain span bytes on this rank
+	Actual  int64 // sum of agg_write + agg_read span bytes on this rank
+}
+
+// PlannedVsActual correlates the partitioner's plan with execution: planned
+// bytes come from plan_domain spans (emitted per aggregator under
+// cb_partition=balanced), actual bytes from aggregator I/O spans. Returns
+// nil when no plan_domain spans are present (even partitioning plans
+// silently). Ranks appearing on either side are included, sorted by rank.
+func PlannedVsActual(spans []Span) []PlannedActual {
+	per := make(map[int]*PlannedActual)
+	get := func(rank int) *PlannedActual {
+		pa := per[rank]
+		if pa == nil {
+			pa = &PlannedActual{Rank: rank}
+			per[rank] = pa
+		}
+		return pa
+	}
+	planned := false
+	for i := range spans {
+		s := &spans[i]
+		switch s.Phase {
+		case PlanDomain:
+			planned = true
+			get(s.Rank).Planned += s.Bytes
+		case AggWrite, AggRead:
+			get(s.Rank).Actual += s.Bytes
+		}
+	}
+	if !planned {
+		return nil
+	}
+	out := make([]PlannedActual, 0, len(per))
+	for _, pa := range per {
+		out = append(out, *pa)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
 // PhaseLoad computes the per-rank load for one phase tag.
 func PhaseLoad(spans []Span, phase string) Load {
 	per := make(map[int]*RankLoad)

@@ -6,6 +6,8 @@
 # (internal/analysis, DESIGN.md §10) over every package; any diagnostic
 # fails the gate. Toggles:
 #   LINT=0   skip the nclint pass (escape hatch while iterating).
+#   CB_PARTITION=0  skip the cb_partition=balanced re-run of the collective
+#            suites (on by default; see DESIGN.md §12).
 #   BENCH=1  smoke-run every benchmark once (catches bit-rotted bench code),
 #            then run the FLASH I/O benchmark with statistics and emit
 #            results/BENCH_flashio.json (slower; not part of the gate).
@@ -26,6 +28,14 @@ if [ "${LINT:-1}" = "1" ]; then
     go run ./cmd/nclint ./...
 fi
 go test -race ./...
+
+if [ "${CB_PARTITION:-1}" = "1" ]; then
+    # Re-run the collective-path suites with balanced file domains as the
+    # ambient default (DESIGN.md §12): every collective test must pass, and
+    # produce the same bytes, under cb_partition=balanced.
+    PNETCDF_CB_PARTITION=balanced go test \
+        ./internal/mpiio/ ./internal/core/ ./internal/integration/ ./internal/bench/
+fi
 
 if [ "${BENCH:-0}" = "1" ]; then
     mkdir -p results
