@@ -16,7 +16,9 @@ import (
 	"pnetcdf/internal/pfs"
 )
 
-func collectiveWriteOnce(tb testing.TB) {
+func collectiveWriteOnce(tb testing.TB) { collectiveWritePipeline(tb, "enable") }
+
+func collectiveWritePipeline(tb testing.TB, pipeline string) {
 	const ranks = 4
 	const blockLen = 64 << 10
 	const nBlocks = 4 // 256 KiB per rank
@@ -24,6 +26,7 @@ func collectiveWriteOnce(tb testing.TB) {
 	err := mpi.Run(ranks, mpi.DefaultNet(), func(c *mpi.Comm) error {
 		info := mpi.NewInfo()
 		info.Set("cb_buffer_size", "131072")
+		info.Set("cb_pipeline", pipeline)
 		f, err := mpiio.Open(c, fs, "alloc.nc", mpiio.ModeRdWr|mpiio.ModeCreate, info)
 		if err != nil {
 			return err
@@ -67,5 +70,42 @@ func TestAllocsCollectiveRound(t *testing.T) {
 	}
 	if res.AllocsPerOp() > 2000 {
 		t.Errorf("collective write allocates %d objects/op, want <= 2000", res.AllocsPerOp())
+	}
+}
+
+// TestAllocsPipelinedVsSerial pins the depth-2 pipeline's steady-state
+// allocation cost against the serial loop's. The pipeline keeps TWO
+// generations of round buffers alive, but both come from (and return to)
+// the shared pools, so after warm-up its bytes/op and allocs/op must stay
+// within a modest factor of serial — a leak of the in-flight generation
+// (recycleRound skipped on some path) would show up here as unpooled
+// per-round churn.
+func TestAllocsPipelinedVsSerial(t *testing.T) {
+	measure := func(pipeline string) testing.BenchmarkResult {
+		collectiveWritePipeline(t, pipeline) // warm the buffer pools
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				collectiveWritePipeline(b, pipeline)
+			}
+		})
+	}
+	serial := measure("disable")
+	piped := measure("enable")
+	t.Logf("serial:    %d allocs/op, %d B/op", serial.AllocsPerOp(), serial.AllocedBytesPerOp())
+	t.Logf("pipelined: %d allocs/op, %d B/op", piped.AllocsPerOp(), piped.AllocedBytesPerOp())
+	// Absolute pins (same fixed machinery as TestAllocsCollectiveRound).
+	if piped.AllocedBytesPerOp() > 8<<20 {
+		t.Errorf("pipelined write allocates %d B/op, want <= %d", piped.AllocedBytesPerOp(), 8<<20)
+	}
+	if piped.AllocsPerOp() > 2000 {
+		t.Errorf("pipelined write allocates %d objects/op, want <= 2000", piped.AllocsPerOp())
+	}
+	// Relative pin: the second generation must reuse pooled memory, not
+	// double the per-op footprint. 1.5x leaves room for the extra AsyncOp,
+	// closures, and one extra warm generation per pool class.
+	if sb := serial.AllocedBytesPerOp(); sb > 0 && float64(piped.AllocedBytesPerOp()) > 1.5*float64(sb) {
+		t.Errorf("pipelined B/op %d exceeds 1.5x serial %d — generation buffers not pooled",
+			piped.AllocedBytesPerOp(), sb)
 	}
 }

@@ -16,6 +16,11 @@
 //	flashio-bench -json BENCH_flashio.json   # machine-readable results
 //	flashio-bench -fault-rate 0.01 -stats    # inject transient faults; see
 //	                                         # the retry counters for the cost
+//	flashio-bench -cb-buffer-size 65536 -cb-nodes 2 -cb-pipeline disable
+//	                                    # force multi-round collectives and
+//	                                    # compare serial vs pipelined rounds
+//	flashio-bench -out f.nc             # dump the raw output image (for
+//	                                    # ncdiff byte-identity checks)
 //
 // Note on scale: the paper ran to 512 processes on real hardware. Every
 // simulated process here holds its real FLASH block data in this process's
@@ -29,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"sync/atomic"
 
@@ -37,6 +43,7 @@ import (
 	"pnetcdf/internal/flash"
 	"pnetcdf/internal/iostat"
 	"pnetcdf/internal/metrics"
+	"pnetcdf/internal/mpi"
 	"pnetcdf/internal/span"
 )
 
@@ -55,6 +62,10 @@ var (
 	jsonOut   = flag.String("json", "", "write machine-readable results (implies -stats) to this file")
 	faultRate = flag.Float64("fault-rate", 0, "transient-fault probability per 64 KiB transferred (0 disables injection)")
 	cbPart    = flag.String("cb-partition", "", "two-phase file-domain partitioning: even or balanced (default: library default)")
+	cbPipe    = flag.String("cb-pipeline", "", "pipelined two-phase rounds: enable or disable (default: library default)")
+	cbBuf     = flag.Int64("cb-buffer-size", 0, "aggregator staging-buffer bytes per two-phase round (default: library default; small values force multi-round collectives)")
+	cbNodes   = flag.Int("cb-nodes", 0, "number of collective-buffering aggregators (default: library default; ROMIO practice is the I/O-node count)")
+	outFile   = flag.String("out", "", "dump the raw image of each PnetCDF output file to this path (disables Discard; last run wins)")
 	faultSeed = flag.Uint64("fault-seed", 1, "seed for the deterministic fault schedule")
 	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -148,18 +159,31 @@ func main() {
 			}
 		}
 		for _, kind := range kinds {
+			hints := cmdutil.CollHints(*cbPart, *cbPipe)
+			if *cbBuf > 0 || *cbNodes > 0 {
+				if hints == nil {
+					hints = mpi.NewInfo()
+				}
+				if *cbBuf > 0 {
+					hints.Set("cb_buffer_size", strconv.FormatInt(*cbBuf, 10))
+				}
+				if *cbNodes > 0 {
+					hints.Set("cb_nodes", strconv.Itoa(*cbNodes))
+				}
+			}
 			fig, err := bench.RunFigure7(bench.Fig7Options{
-				Machine: machine,
-				Config:  cfg,
-				File:    kind,
-				Procs:   plist,
-				Discard: true,
-				Read:    *read,
-				Stats:   collect,
-				Trace:   trace,
-				Spans:   spans,
-				Fault:   bench.FaultOptions{Rate: *faultRate, Seed: *faultSeed},
-				Hints:   cmdutil.PartitionHints(*cbPart),
+				Machine:  machine,
+				Config:   cfg,
+				File:     kind,
+				Procs:    plist,
+				Discard:  *outFile == "",
+				Read:     *read,
+				Stats:    collect,
+				Trace:    trace,
+				Spans:    spans,
+				Fault:    bench.FaultOptions{Rate: *faultRate, Seed: *faultSeed},
+				Hints:    hints,
+				DumpFile: *outFile,
 			})
 			cmdutil.Fatal(tool, err)
 			bench.WriteFigure7(os.Stdout, fig)

@@ -164,7 +164,7 @@ func checkBufFunc(pass *Pass, file *ast.File, body *ast.BlockStmt) {
 			return true
 		}
 		ast.Inspect(fl.Body, func(m ast.Node) bool {
-			if call, ok := m.(*ast.CallExpr); ok && isBufpoolCall(pass, call, "Put") {
+			if call, ok := m.(*ast.CallExpr); ok && isBufpoolCall(pass, call, "Put", "PutAll") {
 				if put := putArgObj(pass, call); put != nil {
 					a.closureObjs[obj] = append(a.closureObjs[obj], put)
 				}
@@ -303,13 +303,66 @@ func (a *bufAnalysis) assign(s *ast.AssignStmt, live bufState) {
 			a.trackValue(id, rhs, live)
 			continue
 		}
-		// Storing into a field, map, or slice element: if the stored value
-		// is (derived from) a live buffer, it escapes.
+		// Storing into an element of a local [][]byte re-homes custody
+		// under the slice — the in-flight-generation pattern of the
+		// pipelined collective path: buffers are parked in a generation
+		// slice while an async write holds them, and the whole generation
+		// is discharged at once by bufpool.PutAll(generation) after the
+		// owning Wait. Dropping the generation is still reported, under
+		// the slice's name.
+		if gen := localSliceObj(a.pass, s.Lhs[i]); gen != nil {
+			if call := getCallIn(a.pass, rhs); call != nil {
+				live[gen] = true
+				continue
+			}
+			if src := identIn(rhs); src != nil {
+				if obj := a.pass.Pkg.Info.ObjectOf(src); obj != nil && live[obj] {
+					delete(live, obj)
+					live[gen] = true
+				}
+			}
+			continue
+		}
+		// Storing into a field, map, or non-local slice element: if the
+		// stored value is (derived from) a live buffer, it escapes.
 		a.escapeIfLive(rhs, live, "stored outside the function's locals")
 		if call := getCallIn(a.pass, rhs); call != nil {
 			a.requireEscape(call, "stored without being bound to a local")
 		}
 	}
+}
+
+// localSliceObj resolves lhs of the form slice[expr] where slice is a
+// local or parameter of type [][]byte, returning the slice's object.
+func localSliceObj(pass *Pass, lhs ast.Expr) types.Object {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(ix.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.Pkg.Info.ObjectOf(id)
+	if obj == nil {
+		return nil
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return nil
+	}
+	sl, ok := obj.Type().Underlying().(*types.Slice)
+	if !ok {
+		return nil
+	}
+	el, ok := sl.Elem().Underlying().(*types.Slice)
+	if !ok {
+		return nil
+	}
+	b, ok := el.Elem().Underlying().(*types.Basic)
+	if !ok || b.Kind() != types.Byte {
+		return nil
+	}
+	return obj
 }
 
 // trackValue processes `id = value`: a Get call starts tracking (unless
@@ -376,7 +429,7 @@ func (a *bufAnalysis) exprStmt(e ast.Expr, live bufState) {
 	if !ok {
 		return
 	}
-	if isBufpoolCall(a.pass, call, "Put") {
+	if isBufpoolCall(a.pass, call, "Put", "PutAll") {
 		if obj := putArgObj(a.pass, call); obj != nil {
 			delete(live, obj)
 		}
@@ -403,7 +456,7 @@ func (a *bufAnalysis) exprStmt(e ast.Expr, live bufState) {
 // deferStmt registers deferred Puts: direct, via closure literal, or via a
 // release closure variable.
 func (a *bufAnalysis) deferStmt(s *ast.DeferStmt, live bufState) {
-	if isBufpoolCall(a.pass, s.Call, "Put") {
+	if isBufpoolCall(a.pass, s.Call, "Put", "PutAll") {
 		if obj := putArgObj(a.pass, s.Call); obj != nil {
 			a.deferred[obj] = true
 		}
@@ -411,7 +464,7 @@ func (a *bufAnalysis) deferStmt(s *ast.DeferStmt, live bufState) {
 	}
 	if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
 		ast.Inspect(fl.Body, func(n ast.Node) bool {
-			if call, ok := n.(*ast.CallExpr); ok && isBufpoolCall(a.pass, call, "Put") {
+			if call, ok := n.(*ast.CallExpr); ok && isBufpoolCall(a.pass, call, "Put", "PutAll") {
 				if obj := putArgObj(a.pass, call); obj != nil {
 					a.deferred[obj] = true
 				}

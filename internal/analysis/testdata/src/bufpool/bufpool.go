@@ -73,3 +73,49 @@ func storedEscape(h *holder, n int) {
 	b := bufpool.Get(n)
 	h.buf = b // want `stored outside the function's locals`
 }
+
+// The in-flight-generation pattern (pipelined collective rounds): buffers
+// parked in a local [][]byte generation re-home custody under the slice,
+// and bufpool.PutAll discharges the whole generation at once.
+func generationParked(n int) {
+	gen := make([][]byte, 4)
+	for i := range gen {
+		gen[i] = bufpool.Get(n)
+	}
+	use(gen[0])
+	bufpool.PutAll(gen)
+}
+
+// generationRehomed parks a named buffer; custody follows the slice.
+func generationRehomed(n int) {
+	gen := make([][]byte, 1)
+	b := bufpool.Get(n)
+	gen[0] = b
+	bufpool.PutAll(gen)
+}
+
+// generationDeferred discharges the generation with a deferred PutAll.
+func generationDeferred(n int) {
+	gen := make([][]byte, 2)
+	defer bufpool.PutAll(gen)
+	gen[0] = bufpool.GetDirty(n)
+	use(gen[0])
+}
+
+// generationDropped loses the parked buffers: reported under the slice.
+func generationDropped(n int) {
+	gen := make([][]byte, 2)
+	gen[0] = bufpool.Get(n)
+	use(gen[0])
+} // want `bufpool buffer gen reaches function end without bufpool\.Put`
+
+// generationEarlyReturn loses the generation on the error path only.
+func generationEarlyReturn(n int) error {
+	gen := make([][]byte, 2)
+	gen[0] = bufpool.Get(n)
+	if n > 4096 {
+		return errTooBig // want `bufpool buffer gen reaches return without bufpool\.Put`
+	}
+	bufpool.PutAll(gen)
+	return nil
+}

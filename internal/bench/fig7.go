@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"os"
 
 	"pnetcdf/internal/flash"
 	"pnetcdf/internal/iostat"
@@ -73,6 +74,12 @@ type Fig7Options struct {
 	// Hints are MPI-IO hints passed to the PnetCDF runs (e.g.
 	// cb_partition=balanced). Nil uses the defaults.
 	Hints *mpi.Info
+	// DumpFile, when non-empty, writes the raw image of each PnetCDF run's
+	// output file to this host path (later runs overwrite earlier ones, so
+	// single-point sweeps give a deterministic artifact). Used for
+	// byte-identity checks between hint settings (verify.sh PIPELINE=0);
+	// incompatible with Discard, which drops the data being dumped.
+	DumpFile string
 }
 
 // RunFigure7 measures one chart.
@@ -176,5 +183,24 @@ func runFlashOnce(opt Fig7Options, nprocs int, hdf5 bool) (flash.Report, *iostat
 		}
 		return nil
 	})
+	if err == nil && !hdf5 && opt.DumpFile != "" {
+		if cfg.Discard {
+			return rep, sum, fmt.Errorf("DumpFile %q needs the file data, but Discard is set", opt.DumpFile)
+		}
+		err = dumpImage(fsys, "f.nc", opt.DumpFile)
+	}
 	return rep, sum, err
+}
+
+// dumpImage copies the raw bytes of a simulated file to a host path.
+func dumpImage(fsys *pfs.FS, name, dst string) error {
+	pf, _, err := fsys.Open(name, 0)
+	if err != nil {
+		return fmt.Errorf("dump %s: %w", name, err)
+	}
+	img := make([]byte, pf.Size())
+	if _, err := pf.ReadAt(0, img, 0); err != nil {
+		return fmt.Errorf("dump %s: %w", name, err)
+	}
+	return os.WriteFile(dst, img, 0o644)
 }

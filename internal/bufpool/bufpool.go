@@ -68,3 +68,17 @@ func Put(b []byte) {
 	b = b[:c]
 	pools[class(c)].Put(&b)
 }
+
+// PutAll returns every non-nil buffer in bufs to its pool and nils the
+// slots, so a retained backing array cannot alias pooled memory. It is the
+// release half of the in-flight-generation pattern used by the pipelined
+// collective path: buffers are parked in a generation slice while an async
+// write holds them, then discharged together once the write's Wait returns.
+func PutAll(bufs [][]byte) {
+	for i, b := range bufs {
+		if b != nil {
+			Put(b)
+			bufs[i] = nil
+		}
+	}
+}

@@ -120,6 +120,12 @@ const (
 	// off between attempts.
 	IORetries
 	IOBackoffTimeNs
+	// IOPipelinedRounds counts two-phase rounds executed on the pipelined
+	// collective path (cb_pipeline); IOOverlapTimeNs is the virtual time
+	// aggregator I/O spent in flight while the rank was doing other work
+	// (the overlap the depth-2 pipeline buys — zero on the serial path).
+	IOPipelinedRounds
+	IOOverlapTimeNs
 	// IOCollAborts counts collective data-access calls that returned an
 	// agreed error after the per-round error agreement (every rank of the
 	// communicator counts the abort once).
@@ -195,6 +201,8 @@ var counterNames = [NumCounters]string{
 	IOWriteTimeNs:        "io_write_time_ns",
 	IORetries:            "io_retries",
 	IOBackoffTimeNs:      "io_backoff_time_ns",
+	IOPipelinedRounds:    "io_pipelined_rounds",
+	IOOverlapTimeNs:      "io_overlap_ns",
 	IOCollAborts:         "io_coll_aborts",
 	NCCollPuts:           "nc_coll_puts",
 	NCIndepPuts:          "nc_indep_puts",
@@ -238,7 +246,8 @@ func (c Counter) Layer() string {
 func (c Counter) IsTime() bool {
 	switch c {
 	case PfsSeekTimeNs, PfsTransferTimeNs, PfsBackoffTimeNs,
-		IOReadTimeNs, IOWriteTimeNs, IOBackoffTimeNs, NCPutTimeNs, NCGetTimeNs:
+		IOReadTimeNs, IOWriteTimeNs, IOBackoffTimeNs, IOOverlapTimeNs,
+		NCPutTimeNs, NCGetTimeNs:
 		return true
 	}
 	return false

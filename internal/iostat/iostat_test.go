@@ -81,7 +81,7 @@ func TestCounterMetadata(t *testing.T) {
 		if k.Layer() == "" {
 			t.Fatalf("counter %s has no layer", name)
 		}
-		if k.IsTime() != strings.HasSuffix(name, "_time_ns") {
+		if k.IsTime() != strings.HasSuffix(name, "_ns") {
 			t.Fatalf("counter %s IsTime mismatch", name)
 		}
 	}

@@ -37,7 +37,47 @@ type reqSeg struct {
 	bufPos int64 // position within the caller's buffer
 }
 
-const collTagBase = 1 << 20 // tag space reserved for collective rounds
+// collTagBase reserves a point-to-point tag band for collective rounds;
+// collTagLimit is where the next reserved band would begin. Both exchange
+// tags of a round derive directly from the round index r via roundTag —
+// there is no separately incremented counter to skew — sub 0 for the
+// request/payload exchange, sub 1 for the read-reply exchange. Distinct
+// per-round tags also let the pipelined path run round r's reply exchange
+// after round r+1's request exchange without cross-talk.
+const (
+	collTagBase  = 1 << 20
+	collTagLimit = collTagBase << 1
+)
+
+// roundTag returns the exchange tag of round r, asserting it stays inside
+// the reserved band.
+func roundTag(r int64, sub int) int {
+	tag := collTagBase + int(2*r) + sub
+	if tag < collTagBase || tag >= collTagLimit {
+		panic(fmt.Sprintf("mpiio: round %d exchange tag %d escapes reserved band [%d,%d)",
+			r, tag, collTagBase, collTagLimit))
+	}
+	return tag
+}
+
+// fallbackIndependent finishes a collective data-access call whose
+// collective buffering is disabled (romio_cb_read/write = false): the rank
+// has already performed its independent I/O and err is its local outcome.
+// Both WriteAtAll and ReadAtAll funnel through here so the fallback paths
+// stay symmetric and agree exactly once — AgreeError is the single
+// collective; agreeAbort only does per-rank accounting (no communication).
+func (f *File) fallbackIndependent(err error) error {
+	return f.agreeAbort(f.comm.AgreeError(err))
+}
+
+// usePipeline reports whether a planned collective should run the depth-2
+// pipelined round loop (pipeline.go). plan.rounds is agreed by every rank
+// and hints must match across the communicator (an MPI requirement), so all
+// ranks take the same branch. One round has nothing to overlap with; the
+// serial loop is strictly simpler there.
+func (f *File) usePipeline(plan collectivePlan) bool {
+	return f.hints.CBPipeline && plan.rounds > 1
+}
 
 // WriteAtAll collectively writes len(buf) view-data bytes at view offset
 // off. Every communicator member must call it (possibly with an empty
@@ -50,10 +90,7 @@ func (f *File) WriteAtAll(off int64, buf []byte) error {
 		return ErrReadOnly
 	}
 	if !f.hints.CBWrite {
-		// Collective buffering disabled: everyone writes independently, but
-		// the error outcome is still agreed so all ranks report the same
-		// success or failure.
-		return f.agreeAbort(f.comm.AgreeError(f.WriteAt(off, buf)))
+		return f.fallbackIndependent(f.WriteAt(off, buf))
 	}
 	// One span covers the whole collective; its deferred End also closes any
 	// still-open round/phase children if an error path unwinds early.
@@ -80,36 +117,63 @@ func (f *File) WriteAtAll(off int64, buf []byte) error {
 	// instead of a rescan of the whole segment list.
 	prefix := segPrefix(segs)
 	spans := plan.spans(segs)
+	var cerr error
+	if f.usePipeline(plan) {
+		cerr = f.writeRoundsPipelined(plan, segs, prefix, spans, buf, myAgg)
+	} else {
+		cerr = f.writeRoundsSerial(plan, segs, prefix, spans, buf, myAgg)
+	}
+	if cerr != nil {
+		return f.agreeAbort(cerr)
+	}
+	f.st.Add(iostat.IOTwoPhaseRounds, plan.rounds)
+	f.recordAccess("coll_write", iostat.IOCollWriteCalls, iostat.IOBytesWritten,
+		iostat.IOWriteExtents, iostat.IOWriteTimeNs, segs, int64(len(buf)), t0)
+	return nil
+}
+
+// packWriteRound clips this rank's request to every aggregator's round-r
+// window and encodes the write messages into parts (phase 1 of the round).
+// Shared by the serial and pipelined loops; returns the reused clip scratch.
+func (f *File) packWriteRound(plan collectivePlan, segs []pfs.Segment, prefix []int64,
+	spans []segSpan, buf []byte, r int64, parts [][]byte, scratch []reqSeg, sPack span.Active) []reqSeg {
+	clear(parts)
+	for a := 0; a < plan.naggs; a++ {
+		lo, hi := plan.window(a, r)
+		if hi <= lo {
+			continue
+		}
+		scratch = intersectRange(segs, prefix, spans[a], lo, hi, scratch[:0])
+		if len(scratch) == 0 {
+			continue
+		}
+		msg := encodeWriteMsg(scratch, buf)
+		parts[plan.aggRank(a)] = msg
+		f.st.Add(iostat.IOExchangeBytes, int64(len(msg)))
+		sPack.AddBytes(int64(len(msg)))
+	}
+	return scratch
+}
+
+// writeRoundsSerial is the classic two-phase round loop: pack → exchange →
+// aggregator write → error agreement, one round fully finished before the
+// next begins. It returns the agreed error (identical on every rank).
+func (f *File) writeRoundsSerial(plan collectivePlan, segs []pfs.Segment, prefix []int64,
+	spans []segSpan, buf []byte, myAgg int) error {
 	parts := make([][]byte, f.comm.Size())
 	var scratch []reqSeg
 	var entries []writeEntry
-	round := 0
 	for r := int64(0); r < plan.rounds; r++ {
 		sRound := f.sp.Begin(span.Round)
 		sRound.SetRound(int(r))
 		// Phase 1: each rank slices its request per aggregator window and
 		// ships segment lists plus payload (pooled message buffers).
 		sPack := f.sp.Begin(span.Pack)
-		clear(parts)
-		for a := 0; a < plan.naggs; a++ {
-			lo, hi := plan.window(a, r)
-			if hi <= lo {
-				continue
-			}
-			scratch = intersectRange(segs, prefix, spans[a], lo, hi, scratch[:0])
-			if len(scratch) == 0 {
-				continue
-			}
-			msg := encodeWriteMsg(scratch, buf)
-			parts[plan.aggRank(a)] = msg
-			f.st.Add(iostat.IOExchangeBytes, int64(len(msg)))
-			sPack.AddBytes(int64(len(msg)))
-		}
+		scratch = f.packWriteRound(plan, segs, prefix, spans, buf, r, parts, scratch, sPack)
 		sPack.End()
 		sXchg := f.sp.Begin(span.Exchange)
-		msgs := sparseExchange(f.comm, parts, collTagBase+round)
+		msgs := sparseExchange(f.comm, parts, roundTag(r, 0))
 		sXchg.End()
-		round++
 		// Phase 2: aggregators issue large vectored writes whose iovec points
 		// straight into the received message payloads — no coalescing copy
 		// (transient errors retried under the file's retry policy).
@@ -138,13 +202,10 @@ func (f *File) WriteAtAll(off int64, buf []byte) error {
 		// and nobody proceeds into the next round's exchange alone.
 		if err := f.comm.AgreeError(roundErr); err != nil {
 			sRound.End()
-			return f.agreeAbort(err)
+			return err
 		}
 		sRound.End()
 	}
-	f.st.Add(iostat.IOTwoPhaseRounds, plan.rounds)
-	f.recordAccess("coll_write", iostat.IOCollWriteCalls, iostat.IOBytesWritten,
-		iostat.IOWriteExtents, iostat.IOWriteTimeNs, segs, int64(len(buf)), t0)
 	return nil
 }
 
@@ -154,7 +215,7 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 		return ErrClosed
 	}
 	if !f.hints.CBRead {
-		return f.agreeAbort(f.comm.AgreeError(f.ReadAt(off, buf)))
+		return f.fallbackIndependent(f.ReadAt(off, buf))
 	}
 	sc := f.sp.Begin(span.CollRead)
 	defer sc.End()
@@ -173,46 +234,105 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 		return nil
 	}
 	myAgg := plan.aggIndex(f.comm.Rank())
-	// Hoisted out of the round loop (see WriteAtAll): prefix sums, per-
-	// aggregator spans, the parts/replies slices, and per-aggregator request
-	// scratch (safe to reuse — requests are consumed by the scatter at the
-	// end of their own round).
+	// Hoisted out of the round loop (see WriteAtAll): prefix sums and the
+	// per-aggregator segment spans.
 	prefix := segPrefix(segs)
 	spans := plan.spans(segs)
+	var cerr error
+	if f.usePipeline(plan) {
+		cerr = f.readRoundsPipelined(plan, segs, prefix, spans, buf, myAgg)
+	} else {
+		cerr = f.readRoundsSerial(plan, segs, prefix, spans, buf, myAgg)
+	}
+	if cerr != nil {
+		return f.agreeAbort(cerr)
+	}
+	f.st.Add(iostat.IOTwoPhaseRounds, plan.rounds)
+	f.recordAccess("coll_read", iostat.IOCollReadCalls, iostat.IOBytesRead,
+		iostat.IOReadExtents, iostat.IOReadTimeNs, segs, int64(len(buf)), t0)
+	return nil
+}
+
+// packReadRound clips this rank's request to every aggregator's round-r
+// window, encodes the request messages into parts, and records the
+// per-aggregator request order in myReqs so replies can be scattered back
+// into the caller's buffer. reqBufs is the per-aggregator clip scratch,
+// owned by the caller (the pipelined loop keeps one per generation: round
+// r's requests must survive until round r's scatter, which the pipeline
+// runs after round r+1 has already packed).
+func (f *File) packReadRound(plan collectivePlan, segs []pfs.Segment, prefix []int64,
+	spans []segSpan, r int64, parts [][]byte, myReqs [][]reqSeg, reqBufs [][]reqSeg, sPack span.Active) {
+	clear(parts)
+	clear(myReqs)
+	for a := 0; a < plan.naggs; a++ {
+		lo, hi := plan.window(a, r)
+		if hi <= lo {
+			continue
+		}
+		reqBufs[a] = intersectRange(segs, prefix, spans[a], lo, hi, reqBufs[a][:0])
+		reqs := reqBufs[a]
+		if len(reqs) == 0 {
+			continue
+		}
+		ar := plan.aggRank(a)
+		parts[ar] = encodeReadMsg(reqs)
+		myReqs[ar] = reqs
+		f.st.Add(iostat.IOExchangeBytes, int64(len(parts[ar])))
+		sPack.AddBytes(int64(len(parts[ar])))
+	}
+}
+
+// buildReplies extracts each source rank's bytes from the aggregator's
+// coverage into pooled per-source reply buffers.
+func (f *File) buildReplies(cov *coverage, reqsBySrc map[int][]reqSeg, replies [][]byte) {
+	for src, reqs := range reqsBySrc {
+		var total int64
+		for _, rq := range reqs {
+			total += rq.len
+		}
+		//nclint:escape -- reply buffers travel through the reply exchange; recycleRound(replies, back) puts them, and the abort paths put them before bailing
+		out := bufpool.GetDirty(int(total))[:0]
+		for _, rq := range reqs {
+			out = append(out, cov.extract(rq.off, rq.len)...)
+		}
+		replies[src] = out
+		f.st.Add(iostat.IOExchangeBytes, int64(len(out)))
+	}
+}
+
+// scatterReplies copies the reply blobs back into the caller's buffer in
+// the per-aggregator request order recorded at pack time.
+func scatterReplies(buf []byte, myReqs [][]reqSeg, back [][]byte) {
+	for src, blob := range back {
+		reqs := myReqs[src]
+		pos := int64(0)
+		for _, rq := range reqs {
+			copy(buf[rq.bufPos:rq.bufPos+rq.len], blob[pos:pos+rq.len])
+			pos += rq.len
+		}
+	}
+}
+
+// readRoundsSerial is the classic two-phase read loop: request exchange →
+// aggregator read → agreement → reply exchange → scatter, one round at a
+// time. It returns the agreed error (identical on every rank).
+func (f *File) readRoundsSerial(plan collectivePlan, segs []pfs.Segment, prefix []int64,
+	spans []segSpan, buf []byte, myAgg int) error {
 	parts := make([][]byte, f.comm.Size())
 	replies := make([][]byte, f.comm.Size())
 	myReqs := make([][]reqSeg, f.comm.Size()) // agg rank -> requests, in order
 	reqBufs := make([][]reqSeg, plan.naggs)
-	round := 0
 	for r := int64(0); r < plan.rounds; r++ {
 		sRound := f.sp.Begin(span.Round)
 		sRound.SetRound(int(r))
 		// Phase 1: ship request segment lists to aggregators; remember the
 		// order so replies can be scattered back into buf.
 		sPack := f.sp.Begin(span.Pack)
-		clear(parts)
-		clear(myReqs)
-		for a := 0; a < plan.naggs; a++ {
-			lo, hi := plan.window(a, r)
-			if hi <= lo {
-				continue
-			}
-			reqBufs[a] = intersectRange(segs, prefix, spans[a], lo, hi, reqBufs[a][:0])
-			reqs := reqBufs[a]
-			if len(reqs) == 0 {
-				continue
-			}
-			ar := plan.aggRank(a)
-			parts[ar] = encodeReadMsg(reqs)
-			myReqs[ar] = reqs
-			f.st.Add(iostat.IOExchangeBytes, int64(len(parts[ar])))
-			sPack.AddBytes(int64(len(parts[ar])))
-		}
+		f.packReadRound(plan, segs, prefix, spans, r, parts, myReqs, reqBufs, sPack)
 		sPack.End()
 		sXchg := f.sp.Begin(span.Exchange)
-		msgs := sparseExchange(f.comm, parts, collTagBase+round)
+		msgs := sparseExchange(f.comm, parts, roundTag(r, 0))
 		sXchg.End()
-		round++
 		// Phase 2: aggregators read merged coverage and reply per source.
 		clear(replies)
 		var roundErr error
@@ -227,19 +347,7 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 					return f.pf.ReadV(t, cov.segs, cov.data)
 				})
 				if roundErr == nil {
-					for src, reqs := range reqsBySrc {
-						var total int64
-						for _, rq := range reqs {
-							total += rq.len
-						}
-						//nclint:escape -- reply buffers travel through the reply exchange; recycleRound(replies, back) puts them, and the error path below puts them before bailing
-						out := bufpool.GetDirty(int(total))[:0]
-						for _, rq := range reqs {
-							out = append(out, cov.extract(rq.off, rq.len)...)
-						}
-						replies[src] = out
-						f.st.Add(iostat.IOExchangeBytes, int64(len(out)))
-					}
+					f.buildReplies(cov, reqsBySrc, replies)
 				}
 			}
 			sAgg.End()
@@ -257,29 +365,18 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 			// to the pool here (leak found by nclint's bufpool checker).
 			recycleRound(replies, nil, f.comm.Rank())
 			sRound.End()
-			return f.agreeAbort(err)
+			return err
 		}
 		sReply := f.sp.Begin(span.ReplyXchg)
-		back := sparseExchange(f.comm, replies, collTagBase+round)
+		back := sparseExchange(f.comm, replies, roundTag(r, 1))
 		sReply.End()
-		round++
 		// Scatter replies into buf.
 		sScatter := f.sp.Begin(span.Scatter)
-		for src, blob := range back {
-			reqs := myReqs[src]
-			pos := int64(0)
-			for _, rq := range reqs {
-				copy(buf[rq.bufPos:rq.bufPos+rq.len], blob[pos:pos+rq.len])
-				pos += rq.len
-			}
-		}
+		scatterReplies(buf, myReqs, back)
 		sScatter.End()
 		recycleRound(replies, back, f.comm.Rank())
 		sRound.End()
 	}
-	f.st.Add(iostat.IOTwoPhaseRounds, plan.rounds)
-	f.recordAccess("coll_read", iostat.IOCollReadCalls, iostat.IOBytesRead,
-		iostat.IOReadExtents, iostat.IOReadTimeNs, segs, int64(len(buf)), t0)
 	return nil
 }
 
@@ -304,7 +401,9 @@ type collectivePlan struct {
 }
 
 // agreeAbort records a collective abort and returns err unchanged; every
-// rank of a failed collective passes its agreed error through here.
+// rank of a failed collective passes its agreed error through here. It is
+// accounting only — the agreement itself already happened (AgreeError);
+// this performs no communication.
 func (f *File) agreeAbort(err error) error {
 	if err != nil {
 		f.st.Add(iostat.IOCollAborts, 1)
@@ -490,18 +589,15 @@ func intersectRange(segs []pfs.Segment, prefix []int64, span segSpan, lo, hi int
 // recycleRound returns one exchange round's buffers to the pool: every
 // locally encoded message in parts, and every received blob in msgs except
 // the self-delivered one — sparseExchange delivers to self by reference, so
-// msgs[self] aliases parts[self] and must be returned exactly once.
+// msgs[self] aliases parts[self] and must be returned exactly once. The
+// slots are nilled by PutAll, so a generation slice the pipelined path
+// keeps across rounds cannot alias pooled memory after release.
 func recycleRound(parts, msgs [][]byte, self int) {
-	for _, p := range parts {
-		if p != nil {
-			bufpool.Put(p)
-		}
+	if self >= 0 && self < len(msgs) {
+		msgs[self] = nil
 	}
-	for i, m := range msgs {
-		if m != nil && i != self {
-			bufpool.Put(m)
-		}
-	}
+	bufpool.PutAll(parts)
+	bufpool.PutAll(msgs)
 }
 
 // sparseExchange delivers parts[dst] to each dst with a non-nil entry and

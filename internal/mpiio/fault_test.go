@@ -138,6 +138,141 @@ func TestCollectiveReadErrorAgreement(t *testing.T) {
 	}
 }
 
+// TestPipelinedWriteCrashDrainsAndAgrees: a crash point that fires inside
+// an overlapped aggregator write (the pipeline has the NEXT round's
+// exchange already done when the failure is observed at Wait) must drain
+// the in-flight round, agree the error on every rank at the same deferred
+// boundary, and leave the handle in a clean state — a follow-up collective
+// on the same file must succeed and round-trip.
+func TestPipelinedWriteCrashDrainsAndAgrees(t *testing.T) {
+	fsys := testFS()
+	in := fault.New(fault.Config{Seed: 13})
+	fsys.SetFault(in)
+	const n = 4
+	info := mpi.NewInfo().Set("cb_buffer_size", "65536").Set("cb_nodes", "2").Set("cb_pipeline", "enable")
+	errs := make([]error, n)
+	aborts := make([]int64, n)
+	overlap := make([]int64, n)
+	runWorld(t, n, func(c *mpi.Comm) error {
+		c.Proc().SetStats(iostat.New())
+		f, err := Open(c, fsys, "pcrash", ModeRdWr|ModeCreate, info)
+		if err != nil {
+			return err
+		}
+		if err := f.SetView(int64(c.Rank())*(1<<20), mpitype.Contig(1<<20)); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			// Middle of aggregator 1's file domain: fires many rounds in,
+			// with the pipeline in steady state.
+			in.ArmCrash(3<<20, false)
+		}
+		c.Barrier()
+		errs[c.Rank()] = f.WriteAtAll(0, make([]byte, 1<<20))
+		aborts[c.Rank()] = c.Proc().Stats().Get(iostat.IOCollAborts)
+		overlap[c.Rank()] = c.Proc().Stats().Get(iostat.IOOverlapTimeNs)
+		// Drain proof: nothing is left in flight, so the same handle runs a
+		// clean collective correctly afterwards.
+		want := bytes.Repeat([]byte{byte('a' + c.Rank())}, 1<<20)
+		if err := f.WriteAtAll(0, want); err != nil {
+			return err
+		}
+		got := make([]byte, 1<<20)
+		if err := f.ReadAtAll(0, got); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("rank %d: post-crash collective round trip corrupted", c.Rank())
+		}
+		return f.Close()
+	})
+	anyOverlap := int64(0)
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d: pipelined collective with crashed aggregator returned nil", r)
+		}
+		if !errors.Is(err, fault.ErrCrashed) && !errors.Is(err, mpi.ErrPeerFailed) {
+			t.Fatalf("rank %d: unexpected error %v", r, err)
+		}
+		if aborts[r] == 0 {
+			t.Fatalf("rank %d: IOCollAborts not counted on pipelined abort", r)
+		}
+		anyOverlap += overlap[r]
+	}
+	if anyOverlap == 0 {
+		t.Fatal("no io_overlap_ns recorded; the crash did not exercise the pipelined path")
+	}
+}
+
+// TestPipelinedTransientFaultsBitIdentical: transient faults landing in
+// overlapped writes are observed at Wait and retried synchronously; a
+// multi-round pipelined run under a high transient rate must still produce
+// a byte-identical image to the clean run, with the retries accounted.
+func TestPipelinedTransientFaultsBitIdentical(t *testing.T) {
+	info := mpi.NewInfo().Set("cb_buffer_size", "4096").Set("cb_nodes", "2").Set("cb_pipeline", "enable")
+	const per = 64 << 10
+	write := func(fsys *pfs.FS) ([]byte, int64) {
+		t.Helper()
+		var mu sync.Mutex
+		var retries int64
+		err := mpi.Run(4, mpi.DefaultNet(), func(c *mpi.Comm) error {
+			c.Proc().SetStats(iostat.New())
+			f, err := Open(c, fsys, "pimg", ModeRdWr|ModeCreate, info)
+			if err != nil {
+				return err
+			}
+			if err := f.SetView(0, blockView(c.Rank(), 4, 4*per)); err != nil {
+				return err
+			}
+			data := make([]byte, per)
+			for i := range data {
+				data[i] = byte(i*13 + c.Rank()*101)
+			}
+			if err := f.WriteAtAll(0, data); err != nil {
+				return err
+			}
+			got := make([]byte, per)
+			if err := f.ReadAtAll(0, got); err != nil {
+				return err
+			}
+			if !bytes.Equal(got, data) {
+				t.Errorf("rank %d: pipelined read-back mismatch under faults", c.Rank())
+			}
+			mu.Lock()
+			retries += c.Proc().Stats().Get(iostat.IORetries)
+			mu.Unlock()
+			return f.Close()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf, _, err := fsys.Open("pimg", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := make([]byte, pf.Size())
+		sf := pfs.NewSerialFile(pf, 0)
+		if _, err := sf.ReadAt(img, 0); err != nil {
+			t.Fatal(err)
+		}
+		return img, retries
+	}
+	clean, _ := write(pfs.New(pfs.DefaultConfig()))
+	faulty := pfs.New(pfs.DefaultConfig())
+	in := fault.New(fault.Config{Seed: 77, ReadErrRate: 0.15, WriteErrRate: 0.15})
+	faulty.SetFault(in)
+	injected, retries := write(faulty)
+	if in.Injected() == 0 {
+		t.Fatal("no faults injected; test proves nothing")
+	}
+	if retries == 0 {
+		t.Fatal("faults injected but IORetries is zero — async retry path not accounted")
+	}
+	if !bytes.Equal(clean, injected) {
+		t.Fatal("pipelined faulted run produced different bytes than clean run")
+	}
+}
+
 // TestFaultedRunBitIdenticalToCleanRun: the strongest retry property — a
 // run under a transient fault rate must produce a byte-identical file to
 // the fault-free run, because every injected failure is retried to

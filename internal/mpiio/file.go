@@ -14,6 +14,7 @@ package mpiio
 import (
 	"errors"
 	"fmt"
+	"math"
 	"os"
 
 	"pnetcdf/internal/fault"
@@ -65,6 +66,13 @@ type Hints struct {
 	// (buckets are stripe-multiple wide; more buckets = finer splits, one
 	// Allreduce of this many int64s per collective call).
 	CBPartitionBuckets int
+	// CBPipeline enables the depth-2 software pipeline in the two-phase
+	// collective path: round r's aggregator I/O is issued asynchronously
+	// and overlaps round r+1's pack/exchange (DESIGN.md §13). Output is
+	// byte-identical to the serial path. Default on; the
+	// PNETCDF_CB_PIPELINE=0 environment variable or the cb_pipeline hint
+	// disables it.
+	CBPipeline bool
 }
 
 func resolveHints(comm *mpi.Comm, info *mpi.Info) Hints {
@@ -79,9 +87,13 @@ func resolveHints(comm *mpi.Comm, info *mpi.Info) Hints {
 		IndWrBufferSize:    4 << 20,
 		CBPartition:        PartitionEven,
 		CBPartitionBuckets: 256,
+		CBPipeline:         true,
 	}
 	if v := os.Getenv("PNETCDF_CB_PARTITION"); v == PartitionBalanced || v == PartitionEven {
 		h.CBPartition = v
+	}
+	if os.Getenv("PNETCDF_CB_PIPELINE") == "0" {
+		h.CBPipeline = false
 	}
 	if n := int(info.GetInt("cb_nodes", int64(h.CBNodes))); n >= 1 {
 		h.CBNodes = min(n, comm.Size())
@@ -110,6 +122,7 @@ func resolveHints(comm *mpi.Comm, info *mpi.Info) Hints {
 	if v := info.GetInt("cb_partition_buckets", int64(h.CBPartitionBuckets)); v >= 1 && v <= 1<<20 {
 		h.CBPartitionBuckets = int(v)
 	}
+	h.CBPipeline = info.GetBool("cb_pipeline", h.CBPipeline)
 	return h
 }
 
@@ -302,6 +315,34 @@ func (f *File) doPF(op func(t float64) (float64, error)) error {
 		f.st.AddTime(iostat.IOBackoffTimeNs, backoff)
 	}
 	return err
+}
+
+// waitPF completes one async pfs operation issued at issueClock (the rank's
+// clock at issue time): it joins the background byte movement, credits the
+// virtual time the I/O spent in flight while the rank was doing other work
+// to io_overlap_ns, and advances the rank clock to max(clock, end) — the
+// pipelined path's analogue of doPF's SetClock(done).
+//
+// A transient injected error is re-issued synchronously through doPF with
+// the supplied retry closure (async writes are idempotent full rewrites, so
+// the retry semantics match the serial path); permanent errors propagate.
+func (f *File) waitPF(op *pfs.AsyncOp, issueClock float64, retry func(t float64) (float64, error)) error {
+	end, err := op.Wait()
+	now := f.comm.Clock()
+	if overlap := math.Min(end, now) - issueClock; overlap > 0 {
+		f.st.AddTime(iostat.IOOverlapTimeNs, overlap)
+	}
+	if end > now {
+		f.comm.Proc().SetClock(end)
+	}
+	if err != nil {
+		if fault.IsTransient(err) {
+			f.st.Add(iostat.IORetries, 1)
+			return f.doPF(retry)
+		}
+		return err
+	}
+	return nil
 }
 
 // ReadRaw reads bytes at an absolute offset, bypassing the view. The header

@@ -59,6 +59,102 @@ func TestSpansClosedUnderTransientFaults(t *testing.T) {
 	}
 }
 
+// TestSpansClosedUnderPipelinedFaults: the pipelined round loop records
+// agg_write/agg_read as closed leaves at Wait and keeps two generations of
+// round state alive; under transient faults (observed at Wait, retried
+// synchronously) every span must still be closed on every rank, and the
+// overlapped aggregator leaves must actually be present in the trace.
+func TestSpansClosedUnderPipelinedFaults(t *testing.T) {
+	fsys := testFS()
+	in := fault.New(fault.Config{
+		Seed: 23, ReadErrRate: 0.15, WriteErrRate: 0.15,
+	})
+	fsys.SetFault(in)
+	const n = 4
+	info := mpi.NewInfo().Set("cb_buffer_size", "4096").Set("cb_nodes", "2").Set("cb_pipeline", "enable")
+	recs := make([]*span.Recorder, n)
+	runWorld(t, n, func(c *mpi.Comm) error {
+		proc := c.Proc()
+		rec := span.NewRecorder(c.Rank(), proc.Clock)
+		proc.SetSpans(rec)
+		recs[c.Rank()] = rec
+		f, err := Open(c, fsys, "pspan", ModeRdWr|ModeCreate, info)
+		if err != nil {
+			return err
+		}
+		if err := f.SetView(int64(c.Rank())*(64<<10), mpitype.Contig(64<<10)); err != nil {
+			return err
+		}
+		buf := make([]byte, 64<<10)
+		for i := 0; i < 2; i++ {
+			if err := f.WriteAtAll(0, buf); err != nil {
+				return err
+			}
+			if err := f.ReadAtAll(0, buf); err != nil {
+				return err
+			}
+		}
+		return f.Close()
+	})
+	if in.Injected() == 0 {
+		t.Fatal("no faults injected; test proves nothing")
+	}
+	aggLeaves := 0
+	for r, rec := range recs {
+		if open := rec.Open(); open != 0 {
+			t.Errorf("rank %d: %d spans still open after pipelined faulted run", r, open)
+		}
+		for _, s := range rec.Spans() {
+			if (s.Phase == span.AggWrite || s.Phase == span.AggRead) && s.Round >= 0 {
+				aggLeaves++
+			}
+		}
+	}
+	if aggLeaves == 0 {
+		t.Fatal("no round-tagged aggregator spans recorded; pipelined path not exercised")
+	}
+}
+
+// TestSpansClosedAfterPipelinedCrashAbort: a crash surfacing at a deferred
+// pipeline boundary aborts the collective after the next round's frontend
+// spans have already closed; no span may dangle on that error path.
+func TestSpansClosedAfterPipelinedCrashAbort(t *testing.T) {
+	fsys := testFS()
+	in := fault.New(fault.Config{Seed: 29})
+	fsys.SetFault(in)
+	const n = 4
+	info := mpi.NewInfo().Set("cb_buffer_size", "65536").Set("cb_nodes", "2").Set("cb_pipeline", "enable")
+	recs := make([]*span.Recorder, n)
+	errs := make([]error, n)
+	runWorld(t, n, func(c *mpi.Comm) error {
+		proc := c.Proc()
+		rec := span.NewRecorder(c.Rank(), proc.Clock)
+		proc.SetSpans(rec)
+		recs[c.Rank()] = rec
+		f, err := Open(c, fsys, "pspancrash", ModeRdWr|ModeCreate, info)
+		if err != nil {
+			return err
+		}
+		if err := f.SetView(int64(c.Rank())*(1<<20), mpitype.Contig(1<<20)); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			in.ArmCrash(3<<20, false)
+		}
+		c.Barrier()
+		errs[c.Rank()] = f.WriteAtAll(0, make([]byte, 1<<20))
+		return f.Close()
+	})
+	for r := range recs {
+		if errs[r] == nil {
+			t.Fatalf("rank %d: pipelined collective with crashed peer returned nil", r)
+		}
+		if open := recs[r].Open(); open != 0 {
+			t.Errorf("rank %d: %d spans dangling on the pipelined crash-abort path", r, open)
+		}
+	}
+}
+
 // TestSpansClosedAfterCrashAbort: when a crash point kills one aggregator
 // mid-collective, every rank's WriteAtAll returns an error — and every
 // rank's spans, including the mid-round ones on the error path, must be

@@ -1,0 +1,175 @@
+// Async I/O: WriteVecAsync/ReadVecAsync issue a request batch and return a
+// completion token instead of blocking, so the two-phase collective path can
+// overlap one round's aggregator I/O with the next round's pack/exchange
+// (DESIGN.md §13).
+//
+// Virtual time and real time are split the same way they are everywhere else
+// in pfs. All virtual accounting is computed synchronously at issue, on the
+// caller's goroutine: fault-injection decisions, cost-model charging
+// (FS.charge), iostat counters, the trace event, and the pfs span. The
+// token's start is max(issueTime, previous op's end) on the handle's I/O
+// channel — a rank's outstanding requests serialize in virtual time even
+// when they overlap in wall-clock time — and its end is the charged
+// completion. Only the byte movement (chunk-store writes/reads) runs on a
+// background goroutine, so wall-clock benchmarks genuinely overlap the
+// memcpy/storage work with whatever the caller does next. The caller's rank
+// clock must advance only at Wait.
+//
+// The caller must not touch segs, iov, or the iovec's buffers between issue
+// and Wait. At most one async op should be in flight per handle at a time
+// (the depth-2 pipeline's invariant); this keeps the fault injector's
+// per-rank occurrence counters in program order, so a seeded run stays
+// deterministic.
+package pfs
+
+import (
+	"fmt"
+
+	"pnetcdf/internal/fault"
+	"pnetcdf/internal/iostat"
+	"pnetcdf/internal/span"
+)
+
+// AsyncOp is the completion token of one in-flight async request batch. Its
+// virtual times are fixed at issue; Wait joins the background byte movement.
+type AsyncOp struct {
+	done  chan struct{}
+	start float64 // virtual start on the handle's I/O channel
+	end   float64 // virtual completion
+	err   error
+}
+
+// Wait blocks until the operation's byte movement has landed and returns
+// its virtual completion time and error. end may be earlier than the
+// caller's current clock — the I/O finished (in virtual time) while the
+// rank was busy elsewhere; callers advance their clock to max(clock, end).
+func (op *AsyncOp) Wait() (float64, error) {
+	<-op.done
+	return op.end, op.err
+}
+
+// Start returns the operation's virtual start time on the handle's I/O
+// channel: max(issue time, previous op's end).
+func (op *AsyncOp) Start() float64 { return op.start }
+
+// completedOp returns an already-finished token carrying err; used for
+// validation failures that never reach the cost model.
+func completedOp(t float64, err error) *AsyncOp {
+	op := &AsyncOp{done: make(chan struct{}), start: t, end: t, err: err}
+	close(op.done)
+	return op
+}
+
+// issueAsync performs the synchronous half of an async request: under ioMu
+// it places the op on the handle's I/O channel, consults the fault
+// injector, and charges the cost model, filling in op.start/end/err. It
+// returns the injector outcome (only meaningful when op.err != nil) and the
+// merged-extent count for accounting.
+func (f *File) issueAsync(op *AsyncOp, t float64, kind fault.Op, segs []Segment, total int64, read bool) (fault.Outcome, int) {
+	f.ioMu.Lock()
+	defer f.ioMu.Unlock()
+	start := t
+	if f.ioPrevEnd > start {
+		start = f.ioPrevEnd
+	}
+	op.start = start
+	tt := start
+	if f.fs.inj != nil {
+		out := f.inject(kind, segs, total)
+		tt += out.Delay
+		if out.Err != nil {
+			f.stats.Add(iostat.PfsFaultsInjected, 1)
+			op.end = tt + f.fs.cfg.NetLatency
+			op.err = out.Err
+			f.ioPrevEnd = op.end
+			return out, 0
+		}
+		if out.Delay > 0 {
+			f.stats.Add(iostat.PfsFaultsInjected, 1)
+		}
+	}
+	done, extents := f.fs.charge(tt, segs, read, f.stats)
+	op.end = done
+	f.ioPrevEnd = done
+	return fault.Outcome{}, extents
+}
+
+// WriteVecAsync issues WriteVec's request batch asynchronously and returns
+// its completion token. Semantics — validation, fault injection (transient
+// prefix, crash truncation), cost-model charging, counters, spans — are
+// identical to WriteVec; only the chunk-store byte movement is deferred to
+// a background goroutine joined by Wait. See the package comment in this
+// file for the aliasing and in-flight-depth rules.
+func (f *File) WriteVecAsync(t float64, segs []Segment, iov [][]byte) *AsyncOp {
+	var total int64
+	for _, s := range segs {
+		total += s.Len
+	}
+	if n := iovTotal(iov); n != total {
+		return completedOp(t, fmt.Errorf("pfs: writevec iovec holds %d bytes, segments need %d", n, total))
+	}
+	op := &AsyncOp{done: make(chan struct{})}
+	out, extents := f.issueAsync(op, t, fault.OpWrite, segs, total, false)
+	if op.err != nil {
+		f.spans.Record(span.PFSWrite, -1, op.start, op.end, out.N)
+		go func() {
+			defer close(op.done)
+			f.applyWritePrefix(segs, iov, out)
+			if out.TruncateTo >= 0 {
+				f.Truncate(out.TruncateTo)
+			}
+		}()
+		return op
+	}
+	f.record(iostat.PfsWriteCalls, iostat.PfsBytesWritten, iostat.PfsWriteExtents,
+		"write", op.start, op.end, segs, total, extents)
+	f.spans.Record(span.PFSWrite, -1, op.start, op.end, total)
+	go func() {
+		defer close(op.done)
+		f.storeWriteVec(segs, iov, total)
+	}()
+	return op
+}
+
+// ReadVAsync issues ReadV's request batch asynchronously: the segments are
+// read into consecutive bytes of dst once Wait returns.
+func (f *File) ReadVAsync(t float64, segs []Segment, dst []byte) *AsyncOp {
+	return f.ReadVecAsync(t, segs, [][]byte{dst})
+}
+
+// ReadVecAsync issues ReadVec's request batch asynchronously and returns
+// its completion token; the iovec is filled by the background goroutine and
+// must not be read until Wait returns.
+func (f *File) ReadVecAsync(t float64, segs []Segment, iov [][]byte) *AsyncOp {
+	var total int64
+	for _, s := range segs {
+		total += s.Len
+	}
+	if n := iovTotal(iov); n != total {
+		return completedOp(t, fmt.Errorf("pfs: readvec iovec holds %d bytes, segments need %d", n, total))
+	}
+	op := &AsyncOp{done: make(chan struct{})}
+	_, extents := f.issueAsync(op, t, fault.OpRead, segs, total, true)
+	if op.err != nil {
+		f.spans.Record(span.PFSRead, -1, op.start, op.end, 0)
+		close(op.done)
+		return op
+	}
+	f.record(iostat.PfsReadCalls, iostat.PfsBytesRead, iostat.PfsReadExtents,
+		"read", op.start, op.end, segs, total, extents)
+	f.spans.Record(span.PFSRead, -1, op.start, op.end, total)
+	go func() {
+		defer close(op.done)
+		cur := iovCursor{iov: iov}
+		for _, s := range segs {
+			off := s.Off
+			for remain := s.Len; remain > 0; {
+				p := cur.next(remain)
+				f.fd.store.readAt(p, off)
+				off += int64(len(p))
+				remain -= int64(len(p))
+			}
+		}
+	}()
+	return op
+}

@@ -179,6 +179,14 @@ type File struct {
 	trace *iostat.Trace
 	spans *span.Recorder
 	rank  int
+
+	// ioMu and ioPrevEnd model the handle's I/O channel for the async
+	// entry points (async.go): an async op starts no earlier than the
+	// previous op's virtual completion on this handle, so overlapped
+	// requests from one rank still serialize in virtual time the way one
+	// client's outstanding requests serialize on its link.
+	ioMu      sync.Mutex
+	ioPrevEnd float64
 }
 
 // SetStats installs the handle's iostat collectors; rank labels trace

@@ -79,32 +79,112 @@ func collIndexes(spans []Span) map[int]map[int64]int {
 // merged spans, which rank and phase bounded it. Rounds with spans from a
 // subset of ranks (uneven traces) are analyzed over the ranks present.
 // Returns rounds sorted by (Coll, Round).
+//
+// A round's spans come from two places: children of its round span
+// (pack/exchange, plus everything else on the serial path), and floating
+// leaves recorded directly under the collective span with an explicit
+// Round tag — the pipelined path's agg_write/agg_read/reply_xchg/scatter,
+// whose intervals genuinely overlap the next round's span. Per (rank,
+// collective) the rounds are walked in index order with a time cursor:
+// round r is charged max(0, lastEnd_r − max(roundStart_r, cursor)) and the
+// cursor advances to lastEnd_r, so an aggregator I/O that completes inside
+// round r+1's window is attributed to round r without the overlapped
+// stretch being counted twice — per-rank round works never sum past wall
+// time. Serial traces (no overlap) get the historical attribution
+// unchanged.
 func CriticalPath(spans []Span) []RoundCritical {
 	idx := index(spans)
 	colls := collIndexes(spans)
 
-	// Children grouped under each round span, per (rank, round span ID).
-	children := make(map[int]map[int64][]*Span)
-	var rounds []*Span
+	// roundAgg accumulates one (rank, coll, round)'s evidence.
+	type rkey struct{ rank, coll, round int }
+	type roundAgg struct {
+		hasSpan    bool    // a round span was present
+		start, end float64 // the round span's interval
+		rawEnd     float64 // latest attributed span end
+		minStart   float64 // earliest attributed span start (no round span)
+		domPhase   string
+		domDur     float64
+		n          int // attributed spans
+	}
+	aggs := make(map[rkey]*roundAgg)
+	get := func(k rkey) *roundAgg {
+		ra := aggs[k]
+		if ra == nil {
+			ra = &roundAgg{minStart: -1}
+			aggs[k] = ra
+		}
+		return ra
+	}
+
+	// Pass 1: round spans establish their groups; remember each round
+	// span's key so its children can be attributed in pass 2.
+	roundKey := make(map[int]map[int64]rkey)
 	for i := range spans {
 		s := &spans[i]
-		if s.Phase == Round {
-			rounds = append(rounds, s)
+		if s.Phase != Round {
 			continue
 		}
-		if s.Parent == 0 {
+		coll := -1
+		if p := idx[s.Rank][s.Parent]; p != nil {
+			if ci, ok := colls[s.Rank][p.ID]; ok {
+				coll = ci
+			}
+		}
+		k := rkey{rank: s.Rank, coll: coll, round: int(s.Round)}
+		m := roundKey[s.Rank]
+		if m == nil {
+			m = make(map[int64]rkey)
+			roundKey[s.Rank] = m
+		}
+		m[s.ID] = k
+		ra := get(k)
+		ra.hasSpan = true
+		ra.start, ra.end = s.Start, s.End
+	}
+
+	// Pass 2: attribute the working spans — children of a round span, or
+	// round-tagged leaves directly under a collective span (the pipelined
+	// overlapped phases). Leaves deeper in the tree (e.g. plan_domain under
+	// the plan span, which reuses Round as a domain index) stay out.
+	attribute := func(ra *roundAgg, s *Span) {
+		ra.n++
+		if s.End > ra.rawEnd {
+			ra.rawEnd = s.End
+		}
+		if ra.minStart < 0 || s.Start < ra.minStart {
+			ra.minStart = s.Start
+		}
+		if d := s.Dur(); d >= ra.domDur {
+			ra.domDur, ra.domPhase = d, s.Phase
+		}
+	}
+	for i := range spans {
+		s := &spans[i]
+		if s.Phase == Round || s.Parent == 0 {
+			continue
+		}
+		if k, ok := roundKey[s.Rank][s.Parent]; ok {
+			attribute(get(k), s)
 			continue
 		}
 		parent := idx[s.Rank][s.Parent]
-		if parent == nil || parent.Phase != Round {
+		if parent == nil || s.Round < 0 {
 			continue
 		}
-		m := children[s.Rank]
-		if m == nil {
-			m = make(map[int64][]*Span)
-			children[s.Rank] = m
+		if parent.Phase == CollWrite || parent.Phase == CollRead {
+			if ci, ok := colls[s.Rank][parent.ID]; ok {
+				attribute(get(rkey{rank: s.Rank, coll: ci, round: int(s.Round)}), s)
+			}
 		}
-		m[s.Parent] = append(m[s.Parent], s)
+	}
+
+	// Per (rank, coll): cursor walk in round order.
+	type ckey struct{ rank, coll int }
+	perColl := make(map[ckey][]rkey)
+	for k := range aggs {
+		ck := ckey{rank: k.rank, coll: k.coll}
+		perColl[ck] = append(perColl[ck], k)
 	}
 
 	type key struct{ coll, round int }
@@ -114,40 +194,36 @@ func CriticalPath(spans []Span) []RoundCritical {
 		phase string
 	}
 	groups := make(map[key][]entry)
-	for _, rs := range rounds {
-		coll := -1
-		if p := idx[rs.Rank][rs.Parent]; p != nil {
-			if ci, ok := colls[rs.Rank][p.ID]; ok {
-				coll = ci
+	for _, keys := range perColl {
+		sort.Slice(keys, func(i, j int) bool { return keys[i].round < keys[j].round })
+		cursor := -1.0
+		for _, k := range keys {
+			ra := aggs[k]
+			start := ra.start
+			if !ra.hasSpan {
+				start = ra.minStart
 			}
-		}
-		kids := children[rs.Rank][rs.ID]
-		// Work = round start to the end of the last child phase: the stretch
-		// this rank kept the round waiting before the closing agreement sync
-		// (the sync itself ends at the same instant on every rank, so the
-		// full round duration carries no per-rank signal).
-		work := rs.Dur()
-		phase := Round
-		if len(kids) > 0 {
-			lastEnd := rs.Start
-			var domPhase string
-			var domDur float64
-			for _, k := range kids {
-				if k.End > lastEnd {
-					lastEnd = k.End
-				}
-				if d := k.Dur(); d >= domDur {
-					domDur, domPhase = d, k.Phase
-				}
+			rawEnd := ra.rawEnd
+			phase := ra.domPhase
+			if ra.n == 0 {
+				// Childless round span: its own duration is the work (the
+				// historical fallback).
+				rawEnd = ra.end
+				phase = Round
 			}
-			work = lastEnd - rs.Start
+			if cursor > start {
+				start = cursor
+			}
+			work := rawEnd - start
 			if work < 0 {
 				work = 0
 			}
-			phase = domPhase
+			if rawEnd > cursor {
+				cursor = rawEnd
+			}
+			gk := key{k.coll, k.round}
+			groups[gk] = append(groups[gk], entry{rank: k.rank, work: work, phase: phase})
 		}
-		k := key{coll, int(rs.Round)}
-		groups[k] = append(groups[k], entry{rank: rs.Rank, work: work, phase: phase})
 	}
 
 	out := make([]RoundCritical, 0, len(groups))

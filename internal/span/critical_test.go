@@ -153,6 +153,66 @@ func TestCriticalPathUnevenRanks(t *testing.T) {
 	}
 }
 
+// TestCriticalPathPipelinedOverlap: the pipelined collective path records
+// aggregator I/O as round-tagged leaves directly under the coll span whose
+// intervals overlap the NEXT round's span (the round span itself closes at
+// the end of the frontend exchange). The analysis must attribute that I/O
+// to its own round and must not charge the overlapped stretch twice: the
+// per-rank round works have to sum to the collective's wall time, not more.
+func TestCriticalPathPipelinedOverlap(t *testing.T) {
+	clk := &manualClock{}
+	r := span.NewRecorder(0, clk.now)
+	cw := r.Begin(span.CollWrite)
+	// Round 0 frontend [0,2]: pack [0,1], exchange [1,2].
+	rs0 := r.Begin(span.Round)
+	rs0.SetRound(0)
+	p := r.Begin(span.Pack)
+	clk.t = 1
+	p.End()
+	e := r.Begin(span.Exchange)
+	clk.t = 2
+	e.End()
+	rs0.End()
+	// Round 1 frontend [2,4] while round 0's write is in flight.
+	rs1 := r.Begin(span.Round)
+	rs1.SetRound(1)
+	p = r.Begin(span.Pack)
+	clk.t = 3
+	p.End()
+	e = r.Begin(span.Exchange)
+	clk.t = 4
+	e.End()
+	rs1.End()
+	// Wait on round 0's write: issued at t=2, completed at t=5 — its
+	// interval covers round 1's entire frontend. Recorded as a closed
+	// round-tagged leaf under the still-open coll span, like the pipelined
+	// write loop does.
+	clk.t = 5
+	r.Record(span.AggWrite, 0, 2, 5, 1024)
+	// Drain: round 1's write runs serially [5,7].
+	clk.t = 7
+	r.Record(span.AggWrite, 1, 5, 7, 1024)
+	cw.End()
+
+	rcs := span.CriticalPath(r.Spans())
+	if len(rcs) != 2 {
+		t.Fatalf("got %d reports, want 2: %+v", len(rcs), rcs)
+	}
+	// Round 0 is charged [0,5]: frontend plus its overlapped write.
+	if rcs[0].Round != 0 || rcs[0].Phase != span.AggWrite || rcs[0].Work != 5 {
+		t.Errorf("round 0 = %+v, want work 5 bounded by agg_write", rcs[0])
+	}
+	// Round 1 is charged only [5,7]: the cursor clips out [2,5], already
+	// attributed to round 0. Naive attribution (round-span start to last
+	// span end) would report 5 here and double-count the overlap.
+	if rcs[1].Round != 1 || rcs[1].Phase != span.AggWrite || rcs[1].Work != 2 {
+		t.Errorf("round 1 = %+v, want work 2 bounded by agg_write", rcs[1])
+	}
+	if total := rcs[0].Work + rcs[1].Work; total != 7 {
+		t.Errorf("round works sum to %v, want the coll wall time 7 (no double-counting)", total)
+	}
+}
+
 func TestPhaseLoadAndHistogram(t *testing.T) {
 	f := func(rank, c, rd int) float64 { return 0.01 }
 	agg := func(rank, c, rd int) float64 { return 0.010 * float64(rank+1) }
