@@ -1,11 +1,18 @@
 // nclint runs the project's static-analysis suite (internal/analysis) over
 // the module: collective-call symmetry, pfs lock ordering, bufpool Get/Put
-// discipline, pfs cost-model accounting, and unchecked I/O teardown errors.
-// It exits 1 when any diagnostic is reported, so verify.sh can gate on it.
+// discipline, pfs cost-model accounting, unchecked I/O teardown errors, and
+// AsyncOp Wait pairing. It exits 1 when any diagnostic is reported, so
+// verify.sh can gate on it.
+//
+// By default the suite runs in interprocedural mode: a module-wide call
+// graph with per-function summaries (DESIGN.md §14) lets the checkers see
+// collectives, pooled-buffer escapes, lock acquisitions and Wait calls
+// through helper functions, including across packages. -interp=false falls
+// back to the older per-function analysis.
 //
 // Usage:
 //
-//	nclint [-c checker,checker] [-list] [packages]
+//	nclint [-c checker,checker] [-json] [-interp=false] [-list] [packages]
 //
 // Package patterns are accepted for interface-compatibility with go vet
 // (`nclint ./...`) but the tool always analyzes the whole module containing
@@ -13,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,12 +30,24 @@ import (
 	"pnetcdf/internal/cmdutil"
 )
 
+// jsonDiag is the machine-readable diagnostic shape emitted by -json: one
+// object per line-ordered finding, the same fields the text form prints.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Checker string `json:"checker"`
+	Message string `json:"message"`
+}
+
 func main() {
 	const tool = "nclint"
 	var (
 		checkers = flag.String("c", "", "comma-separated checker names to run (default: all)")
 		list     = flag.Bool("list", false, "list available checkers and exit")
+		jsonOut  = flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+		interp   = flag.Bool("interp", true, "interprocedural mode: module call graph + function summaries")
 	)
+	flag.Var(aliasValue{checkers}, "checker", "alias of -c")
 	flag.Parse()
 
 	if *list {
@@ -51,16 +71,47 @@ func main() {
 	pkgs, err := loader.LoadModule()
 	cmdutil.Fatal(tool, err)
 
-	diags := analysis.RunCheckers(pkgs, suite)
-	for _, d := range diags {
-		file := d.Pos.Filename
-		if rel, err := filepath.Rel(wd, file); err == nil && len(rel) < len(file) {
-			file = rel
+	var diags []analysis.Diagnostic
+	if *interp {
+		diags = analysis.RunCheckersInterp(pkgs, suite)
+	} else {
+		diags = analysis.RunCheckers(pkgs, suite)
+	}
+
+	rel := func(file string) string {
+		if r, err := filepath.Rel(wd, file); err == nil && len(r) < len(file) {
+			return r
 		}
-		fmt.Printf("%s:%d: [%s] %s\n", file, d.Pos.Line, d.Checker, d.Message)
+		return file
+	}
+	if *jsonOut {
+		out := []jsonDiag{}
+		for _, d := range diags {
+			out = append(out, jsonDiag{File: rel(d.Pos.Filename), Line: d.Pos.Line, Checker: d.Checker, Message: d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			cmdutil.Fatal(tool, err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d: [%s] %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Checker, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "%s: %d diagnostic(s)\n", tool, len(diags))
 		os.Exit(1)
 	}
 }
+
+// aliasValue makes a second flag name write through to an existing one.
+type aliasValue struct{ s *string }
+
+func (a aliasValue) String() string {
+	if a.s == nil {
+		return ""
+	}
+	return *a.s
+}
+func (a aliasValue) Set(v string) error { *a.s = v; return nil }

@@ -31,6 +31,37 @@ func runAccounting(pass *Pass) {
 	if pass.Pkg.Name != "pfs" {
 		return
 	}
+	// Interprocedural mode: the engine's Touches/Charges/Records facts are
+	// already transitive over the module-wide call graph (closures and
+	// cross-package helpers included), so the per-package graph below is
+	// subsumed by a summary lookup per exported declaration.
+	if pass.Engine != nil {
+		for _, f := range pass.Pkg.Files {
+			for _, d := range f.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Body == nil || !ast.IsExported(decl.Name.Name) {
+					continue
+				}
+				fn, _ := pass.Pkg.Info.Defs[decl.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				sum := pass.Engine.Summary(fn)
+				if sum == nil || !sum.Touches {
+					continue
+				}
+				if !sum.Charges {
+					pass.Reportf(decl.Name.Pos(),
+						"%s touches the chunk store but never charges the cost model (FS.charge): data moved for free skews every simulated bandwidth number", fn.Name())
+				}
+				if !sum.Records {
+					pass.Reportf(decl.Name.Pos(),
+						"%s touches the chunk store but records no iostat counters (File.record / Stats.Add)", fn.Name())
+				}
+			}
+		}
+		return
+	}
 	type node struct {
 		decl    *ast.FuncDecl
 		calls   map[*types.Func]bool

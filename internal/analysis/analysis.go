@@ -42,10 +42,13 @@ func (d Diagnostic) String() string {
 }
 
 // Pass is one checker's view of one package: its syntax, its type
-// information, and a Report sink.
+// information, and a Report sink. Engine is non-nil in interprocedural mode
+// (RunCheckersInterp): checkers consult it for cross-function summaries and
+// fall back to their intraprocedural behavior when it is nil.
 type Pass struct {
 	Fset    *token.FileSet
 	Pkg     *Package
+	Engine  *Engine
 	checker string
 	sink    *[]Diagnostic
 }
@@ -102,6 +105,7 @@ func All() []*Checker {
 		SpanPair(),
 		Accounting(),
 		ErrCheckIO(),
+		AsyncWait(),
 	}
 }
 
@@ -127,16 +131,30 @@ func ByName(names string) ([]*Checker, error) {
 	return out, nil
 }
 
-// RunCheckers applies each checker to each package and returns the combined
-// diagnostics sorted by position.
+// RunCheckers applies each checker to each package intraprocedurally and
+// returns the combined diagnostics sorted deterministically.
 func RunCheckers(pkgs []*Package, checkers []*Checker) []Diagnostic {
+	return run(pkgs, checkers, nil)
+}
+
+// RunCheckersInterp builds the module-wide interprocedural engine over pkgs
+// and runs each checker with it: summaries make the checkers see through
+// helpers and cross-package extraction (DESIGN.md §14), and enable the
+// asyncwait checker.
+func RunCheckersInterp(pkgs []*Package, checkers []*Checker) []Diagnostic {
+	return run(pkgs, checkers, NewEngine(pkgs))
+}
+
+func run(pkgs []*Package, checkers []*Checker, engine *Engine) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, c := range checkers {
-			pass := &Pass{Fset: pkg.Fset, Pkg: pkg, checker: c.Name, sink: &diags}
+			pass := &Pass{Fset: pkg.Fset, Pkg: pkg, Engine: engine, checker: c.Name, sink: &diags}
 			c.Run(pass)
 		}
 	}
+	// Deterministic order so repeated runs diff cleanly: file, line,
+	// checker, then message as the final tie-break.
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -145,7 +163,10 @@ func RunCheckers(pkgs []*Package, checkers []*Checker) []Diagnostic {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Checker < b.Checker
+		if a.Checker != b.Checker {
+			return a.Checker < b.Checker
+		}
+		return a.Message < b.Message
 	})
 	return diags
 }

@@ -86,6 +86,30 @@ func getCallIn(pass *Pass, e ast.Expr) *ast.CallExpr {
 	}
 }
 
+// pooledCallIn returns the call in e that yields a pooled buffer: a direct
+// bufpool Get/GetDirty, or (interprocedural mode) a helper whose summary
+// says it returns one.
+func pooledCallIn(pass *Pass, e ast.Expr) *ast.CallExpr {
+	if call := getCallIn(pass, e); call != nil {
+		return call
+	}
+	if pass.Engine == nil {
+		return nil
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := pass.Callee(call)
+	if fn == nil {
+		return nil
+	}
+	if sum := pass.Engine.Summary(fn); sum != nil && sum.ReturnsPooled {
+		return call
+	}
+	return nil
+}
+
 // putArgObj resolves the object a bufpool.Put call discharges, or nil.
 func putArgObj(pass *Pass, call *ast.CallExpr) types.Object {
 	if len(call.Args) != 1 {
@@ -132,6 +156,7 @@ func (s bufState) clone() bufState {
 type bufAnalysis struct {
 	pass        *Pass
 	file        *ast.File
+	bodyPos     token.Pos                       // objects declared before this are parameters
 	deferred    map[types.Object]bool           // discharged at every return
 	closureObjs map[types.Object][]types.Object // release-closure var -> buffers it puts
 	reported    map[types.Object]bool
@@ -141,11 +166,14 @@ func checkBufFunc(pass *Pass, file *ast.File, body *ast.BlockStmt) {
 	a := &bufAnalysis{
 		pass:        pass,
 		file:        file,
+		bodyPos:     body.Pos(),
 		deferred:    map[types.Object]bool{},
 		closureObjs: map[types.Object][]types.Object{},
 		reported:    map[types.Object]bool{},
 	}
-	// Pre-scan: local closures that put buffers (the release() pattern).
+	// Pre-scan: local closures that put buffers (the release() pattern) —
+	// directly, or in interprocedural mode through a callee that Puts its
+	// parameter (the finish()/recycleRound pattern of the pipelined path).
 	ast.Inspect(body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
 		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
@@ -164,10 +192,18 @@ func checkBufFunc(pass *Pass, file *ast.File, body *ast.BlockStmt) {
 			return true
 		}
 		ast.Inspect(fl.Body, func(m ast.Node) bool {
-			if call, ok := m.(*ast.CallExpr); ok && isBufpoolCall(pass, call, "Put", "PutAll") {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isBufpoolCall(pass, call, "Put", "PutAll") {
 				if put := putArgObj(pass, call); put != nil {
 					a.closureObjs[obj] = append(a.closureObjs[obj], put)
 				}
+				return true
+			}
+			for _, put := range putParamRoots(pass, call) {
+				a.closureObjs[obj] = append(a.closureObjs[obj], put)
 			}
 			return true
 		})
@@ -185,8 +221,10 @@ func (a *bufAnalysis) flow(stmts []ast.Stmt, live bufState) (bufState, bool) {
 	for _, stmt := range stmts {
 		switch s := stmt.(type) {
 		case *ast.AssignStmt:
+			a.applyCalls(s, live)
 			a.assign(s, live)
 		case *ast.DeclStmt:
+			a.applyCalls(s, live)
 			if gd, ok := s.Decl.(*ast.GenDecl); ok {
 				for _, spec := range gd.Specs {
 					if vs, ok := spec.(*ast.ValueSpec); ok {
@@ -199,13 +237,23 @@ func (a *bufAnalysis) flow(stmts []ast.Stmt, live bufState) (bufState, bool) {
 				}
 			}
 		case *ast.ExprStmt:
+			a.applyCalls(s, live)
 			a.exprStmt(s.X, live)
 		case *ast.DeferStmt:
 			a.deferStmt(s, live)
 		case *ast.ReturnStmt:
+			a.applyCalls(s, live)
 			a.returnStmt(s, live)
 			return live, true
 		case *ast.IfStmt:
+			if s.Init != nil {
+				var term bool
+				live, term = a.flow([]ast.Stmt{s.Init}, live)
+				if term {
+					return live, true
+				}
+			}
+			a.applyCalls(s.Cond, live)
 			thenState, thenTerm := a.flow(s.Body.List, live.clone())
 			var elseState bufState
 			elseTerm := false
@@ -239,6 +287,13 @@ func (a *bufAnalysis) flow(stmts []ast.Stmt, live bufState) (bufState, bool) {
 				return live, true
 			}
 		case *ast.ForStmt:
+			if s.Init != nil {
+				var term bool
+				live, term = a.flow([]ast.Stmt{s.Init}, live)
+				if term {
+					return live, true
+				}
+			}
 			bodyState, _ := a.flow(s.Body.List, live.clone())
 			for k := range bodyState {
 				live[k] = true
@@ -311,14 +366,23 @@ func (a *bufAnalysis) assign(s *ast.AssignStmt, live bufState) {
 		// owning Wait. Dropping the generation is still reported, under
 		// the slice's name.
 		if gen := localSliceObj(a.pass, s.Lhs[i]); gen != nil {
-			if call := getCallIn(a.pass, rhs); call != nil {
-				live[gen] = true
+			// Storing into a caller-supplied [][]byte parameter transfers
+			// custody out of this function: in interprocedural mode the
+			// StoresPooledParam summary re-homes the obligation at every
+			// call site, so it is discharged here rather than re-tracked.
+			transfer := a.pass.Engine != nil && gen.Pos() < a.bodyPos
+			if call := pooledCallIn(a.pass, rhs); call != nil {
+				if !transfer {
+					live[gen] = true
+				}
 				continue
 			}
 			if src := identIn(rhs); src != nil {
 				if obj := a.pass.Pkg.Info.ObjectOf(src); obj != nil && live[obj] {
 					delete(live, obj)
-					live[gen] = true
+					if !transfer {
+						live[gen] = true
+					}
 				}
 			}
 			continue
@@ -367,7 +431,10 @@ func localSliceObj(pass *Pass, lhs ast.Expr) types.Object {
 
 // trackValue processes `id = value`: a Get call starts tracking (unless
 // annotated as escaping); rebinding a live buffer to another name is an
-// escape of the old value only if id differs from the value's source.
+// escape of the old value only if id differs from the value's source. In
+// interprocedural mode a call to a helper whose summary returns a pooled
+// buffer starts the same obligation: the custody the helper's own escape
+// annotation promised to its caller lands here.
 func (a *bufAnalysis) trackValue(id *ast.Ident, value ast.Expr, live bufState) {
 	if call := getCallIn(a.pass, value); call != nil {
 		if hasEscapeAnnotation(a.pass, a.file, call.Pos()) {
@@ -377,6 +444,21 @@ func (a *bufAnalysis) trackValue(id *ast.Ident, value ast.Expr, live bufState) {
 			live[obj] = true
 		}
 		return
+	}
+	if a.pass.Engine != nil {
+		if call, ok := ast.Unparen(value).(*ast.CallExpr); ok {
+			if fn := a.pass.Callee(call); fn != nil {
+				if sum := a.pass.Engine.Summary(fn); sum != nil && sum.ReturnsPooled {
+					if hasEscapeAnnotation(a.pass, a.file, call.Pos()) {
+						return
+					}
+					if obj := a.pass.Pkg.Info.ObjectOf(id); obj != nil {
+						live[obj] = true
+					}
+					return
+				}
+			}
+		}
 	}
 	// Nested Get (argument position, composite literal...) must be
 	// annotated: nobody holds a name to Put it through.
@@ -493,7 +575,11 @@ func (a *bufAnalysis) returnStmt(s *ast.ReturnStmt, live bufState) {
 		if src := identIn(res); src != nil {
 			if obj := a.pass.Pkg.Info.ObjectOf(src); obj != nil && live[obj] {
 				delete(live, obj)
-				if !a.reported[obj] {
+				// In interprocedural mode the return is an ownership
+				// transfer: this function's summary becomes ReturnsPooled
+				// and every caller inherits the obligation, so the checker
+				// follows the buffer instead of demanding an annotation.
+				if a.pass.Engine == nil && !a.reported[obj] {
 					a.reported[obj] = true
 					a.pass.Reportf(s.Pos(), "bufpool buffer %s is returned to the caller; annotate its Get with //nclint:escape -- <who puts it back>", src.Name)
 				}
@@ -528,6 +614,96 @@ func (a *bufAnalysis) requireEscape(call *ast.CallExpr, how string) {
 		return
 	}
 	a.pass.Reportf(call.Pos(), "bufpool.Get result is %s; annotate with //nclint:escape -- <who puts it back> or bind it to a local and Put it", how)
+}
+
+// applyCalls walks the expressions of one statement (not descending into
+// function literals) and applies every call's custody effects: direct
+// bufpool.Put/PutAll, release-closure invocations, and — in
+// interprocedural mode — callee summaries that Put a parameter (discharge
+// the argument's root) or store pooled buffers into a parameter (custody
+// re-homed under the argument's root local, the packWriteRound pattern).
+func (a *bufAnalysis) applyCalls(n ast.Node, live bufState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isBufpoolCall(a.pass, call, "Put", "PutAll") {
+			if obj := putArgObj(a.pass, call); obj != nil {
+				delete(live, obj)
+			}
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if obj := a.pass.Pkg.Info.ObjectOf(id); obj != nil {
+				for _, put := range a.closureObjs[obj] {
+					delete(live, put)
+				}
+			}
+		}
+		for _, put := range putParamRoots(a.pass, call) {
+			delete(live, put)
+		}
+		for _, stored := range storesPooledRoots(a.pass, call) {
+			live[stored] = true
+		}
+		return true
+	})
+}
+
+// putParamRoots returns the local roots of arguments passed into positions
+// the callee's summary Puts (interprocedural mode only).
+func putParamRoots(pass *Pass, call *ast.CallExpr) []types.Object {
+	return summaryParamRoots(pass, call, func(sum *Summary, k int) bool { return sum.PutsParam(k) })
+}
+
+// storesPooledRoots returns the local roots of arguments the callee's
+// summary stores pooled buffers into (interprocedural mode only).
+func storesPooledRoots(pass *Pass, call *ast.CallExpr) []types.Object {
+	return summaryParamRoots(pass, call, func(sum *Summary, k int) bool { return sum.StoresPooledParam(k) })
+}
+
+func summaryParamRoots(pass *Pass, call *ast.CallExpr, want func(*Summary, int) bool) []types.Object {
+	if pass.Engine == nil {
+		return nil
+	}
+	fn := pass.Callee(call)
+	if fn == nil {
+		return nil
+	}
+	sum := pass.Engine.Summary(fn)
+	if sum == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []types.Object
+	for j, arg := range call.Args {
+		k := paramIndexOfArg(sig, j)
+		if k < 0 || !want(sum, k) {
+			continue
+		}
+		root := argRootObj(pass.Pkg, arg)
+		v, ok := root.(*types.Var)
+		if !ok || v.IsField() {
+			continue
+		}
+		// Only function-scoped roots: custody of a package-level or
+		// otherwise foreign root is someone else's to track.
+		if v.Parent() == nil || v.Parent() == pass.Pkg.Types.Scope() {
+			continue
+		}
+		out = append(out, root)
+	}
+	return out
 }
 
 // reportLive reports every buffer that reaches `where` without a Put.

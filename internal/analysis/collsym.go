@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -60,47 +61,24 @@ var collectiveFuncs = map[string]bool{
 	"pnetcdf/internal/core.Open":   true,
 }
 
-// isCollective reports whether the call invokes a known collective, and if
-// so under what display name.
+// isCollective reports whether the call invokes a known collective (or, in
+// interprocedural mode, a module helper whose summary says it may reach
+// one), and if so under what display name. Helper-mediated names embed the
+// helper's own identity, so the same helper called on both arms of a
+// rank-conditioned branch still cancels.
 func isCollective(pass *Pass, call *ast.CallExpr) (string, bool) {
 	fn := pass.Callee(call)
 	if fn == nil {
 		return "", false
 	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok {
-		return "", false
-	}
-	recv := sig.Recv()
-	if recv == nil {
-		if fn.Pkg() == nil {
-			return "", false
-		}
-		full := fn.Pkg().Path() + "." + fn.Name()
-		if collectiveFuncs[full] {
-			return fn.Pkg().Name() + "." + fn.Name(), true
-		}
-		return "", false
-	}
-	t := recv.Type()
-	if ptr, ok := t.(*types.Pointer); ok {
-		t = ptr.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok || named.Obj().Pkg() == nil {
-		return "", false
-	}
-	key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
-	set, ok := collectiveMethods[key]
-	if !ok {
-		return "", false
-	}
-	name := named.Obj().Name() + "." + fn.Name()
-	if set[fn.Name()] {
+	if name, ok := collectiveFuncName(fn); ok {
 		return name, true
 	}
-	if strings.HasSuffix(fn.Name(), "All") {
-		return name, true
+	if pass.Engine != nil {
+		if sum := pass.Engine.Summary(fn); sum != nil && sum.HasCollectives() {
+			return fmt.Sprintf("%s (which may reach %s)",
+				funcDisplayName(fn), strings.Join(sum.Collectives, ", ")), true
+		}
 	}
 	return "", false
 }

@@ -39,6 +39,7 @@ type Loader struct {
 	std     types.Importer
 	pkgs    map[string]*Package // by import path; nil entry = load in progress
 	loading map[string]bool
+	extra   map[string]string // registered import path -> directory (fixtures)
 }
 
 // NewLoader creates a loader for the module rooted at modRoot (the directory
@@ -66,6 +67,7 @@ func NewLoader(modRoot string) (*Loader, error) {
 		std:     importer.ForCompiler(fset, "source", nil),
 		pkgs:    map[string]*Package{},
 		loading: map[string]bool{},
+		extra:   map[string]string{},
 	}, nil
 }
 
@@ -160,6 +162,52 @@ func (l *Loader) LoadDir(path, dir string) (*Package, error) {
 	return l.loadDir(path, dir)
 }
 
+// RegisterDir maps an import path outside the module tree to a directory so
+// fixture packages can import each other: the golden harness registers every
+// subpackage of a multi-package fixture before loading its root.
+func (l *Loader) RegisterDir(path, dir string) { l.extra[path] = dir }
+
+// LoadTree loads the multi-package fixture rooted at dir: the root package
+// under rootPath, and every subdirectory holding Go files as
+// rootPath/<rel>. All packages are registered first so fixture-internal
+// imports resolve, then loaded; the result is sorted by import path.
+func (l *Loader) LoadTree(rootPath, dir string) ([]*Package, error) {
+	type entry struct{ path, dir string }
+	var entries []entry
+	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		if !hasGoFiles(p) {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, p)
+		if err != nil {
+			return err
+		}
+		path := rootPath
+		if rel != "." {
+			path = rootPath + "/" + filepath.ToSlash(rel)
+		}
+		l.RegisterDir(path, p)
+		entries = append(entries, entry{path, p})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, e := range entries {
+		pkg, err := l.loadDir(e.path, e.dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
 func (l *Loader) loadDir(path, dir string) (*Package, error) {
 	if pkg, ok := l.pkgs[path]; ok {
 		return pkg, nil
@@ -232,6 +280,13 @@ type moduleImporter struct {
 }
 
 func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if dir, ok := m.l.extra[path]; ok {
+		pkg, err := m.l.loadDir(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
 	if path == m.l.ModPath || strings.HasPrefix(path, m.l.ModPath+"/") {
 		pkg, err := m.l.Load(path)
 		if err != nil {

@@ -161,7 +161,9 @@ func runLockOrder(pass *Pass) {
 	}
 }
 
-// lockEvent is one Lock/Unlock call in source order.
+// lockEvent is one Lock/Unlock call in source order. A call event (callee
+// != nil) is a call into a function whose interprocedural summary may
+// acquire locks; acq holds the class bitmask.
 type lockEvent struct {
 	pos     token.Pos
 	key     string
@@ -169,6 +171,8 @@ type lockEvent struct {
 	isLock  bool
 	isRead  bool
 	defered bool
+	callee  *types.Func
+	acq     uint8
 }
 
 // checkLockFunc applies both rules to one function body. The walk is a
@@ -196,6 +200,18 @@ func checkLockFunc(pass *Pass, body *ast.BlockStmt) {
 						pos: m.Pos(), key: key, class: lockClass(pass, m),
 						isLock: isLock, isRead: isRead, defered: deferred,
 					})
+					return true
+				}
+				// Interprocedural: a call into a function that may acquire
+				// locks is an acquisition event for ordering purposes.
+				// Deferred calls run at function end, after the body's
+				// releases, and are skipped like deferred unlocks.
+				if pass.Engine != nil && !deferred {
+					if fn := pass.Callee(m); fn != nil {
+						if sum := pass.Engine.Summary(fn); sum != nil && sum.MayAcquire != 0 {
+							events = append(events, lockEvent{pos: m.Pos(), callee: fn, acq: sum.MayAcquire})
+						}
+					}
 				}
 			}
 			return true
@@ -241,6 +257,26 @@ func checkLockFunc(pass *Pass, body *ast.BlockStmt) {
 	}
 	var stack []held
 	for _, e := range events {
+		if e.callee != nil {
+			// A callee that may acquire a lower-ranked class while we hold
+			// a higher-ranked one is the helper-mediated inversion the
+			// intraprocedural walk cannot see. The callee is expected to
+			// release what it acquires (its own rule-2 check enforces
+			// that), so nothing is pushed.
+			for c := classFileTable; c <= classServer; c++ {
+				if e.acq&(1<<uint(c)) == 0 {
+					continue
+				}
+				for _, h := range stack {
+					if h.class > c {
+						pass.Reportf(e.pos, "call to %s may acquire %s while holding %s; documented order is file-table mu -> RMW range lock -> shard locks -> srvMu",
+							funcDisplayName(e.callee), className[c], className[h.class])
+						break
+					}
+				}
+			}
+			continue
+		}
 		if e.class == 0 {
 			continue
 		}

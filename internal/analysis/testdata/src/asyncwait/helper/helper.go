@@ -1,0 +1,14 @@
+// Package helper waits AsyncOps on the caller's behalf, across the package
+// boundary — the WaitsParam summary shape (mpiio's waitPF).
+package helper
+
+import "pnetcdf/internal/pfs"
+
+// Join waits the op and returns its error.
+func Join(op *pfs.AsyncOp) error {
+	if op == nil {
+		return nil
+	}
+	_, err := op.Wait()
+	return err
+}

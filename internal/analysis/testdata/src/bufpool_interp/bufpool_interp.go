@@ -1,0 +1,64 @@
+// Package fix is the golden fixture for the interprocedural bufpool
+// upgrade: pooled buffers move through cross-package helpers — returned by
+// one (ReturnsPooled), parked into a caller slice by another
+// (StoresPooledParam), and discharged by a third (PutsParam). The same
+// fixture must be CLEAN under the intraprocedural checker (the
+// strictly-more proof in the harness).
+package fix
+
+import "fixture/bufpool_interp/helper"
+
+func use(b []byte) {}
+
+// leakedHelperBuffer drops a buffer obtained through the helper: only the
+// summary knows helper.Encode hands over pooled custody.
+func leakedHelperBuffer(n int) {
+	b := helper.Encode(n)
+	use(b)
+} // want `bufpool buffer b reaches function end without bufpool\.Put`
+
+// pairedHelperBuffer is fine: the helper's Release puts its parameter.
+func pairedHelperBuffer(n int) {
+	b := helper.Encode(n)
+	use(b)
+	helper.Release(b)
+}
+
+// generationLeak drops a whole generation the helper filled with pooled
+// buffers: custody re-homed under the local slice by the StoresPooledParam
+// summary, never recycled.
+func generationLeak(n int) {
+	parts := make([][]byte, 4)
+	helper.Fill(parts, n)
+} // want `bufpool buffer parts reaches function end without bufpool\.Put`
+
+// generationRecycled is fine: helper.ReleaseAll puts the generation back.
+func generationRecycled(n int) {
+	parts := make([][]byte, 4)
+	helper.Fill(parts, n)
+	helper.ReleaseAll(parts)
+}
+
+// errPathLeak puts on the happy path but leaks on the error bail.
+func errPathLeak(n int, err error) error {
+	b := helper.Encode(n)
+	if err != nil {
+		return err // want `bufpool buffer b reaches return without bufpool\.Put`
+	}
+	helper.Release(b)
+	return nil
+}
+
+// transferred is fine in interprocedural mode: returning the buffer makes
+// this function ReturnsPooled, and its callers inherit the obligation.
+func transferred(n int) []byte {
+	b := helper.Encode(n)
+	return b
+}
+
+// transferCaller leaks the buffer transferred out of the local helper
+// above — the obligation followed the summary chain two hops from the Get.
+func transferCaller(n int) {
+	b := transferred(n)
+	use(b)
+} // want `bufpool buffer b reaches function end without bufpool\.Put`

@@ -1,0 +1,26 @@
+// Package helper moves pooled buffers across the package boundary in the
+// three summary shapes: returning one, parking them in a caller slice, and
+// putting them back.
+package helper
+
+import "pnetcdf/internal/bufpool"
+
+// Encode returns a pooled buffer whose custody passes to the caller.
+func Encode(n int) []byte {
+	b := bufpool.Get(n) //nclint:escape -- returned to the caller, which owns the Put
+	return b
+}
+
+// Release discharges a buffer on the caller's behalf.
+func Release(b []byte) { bufpool.Put(b) }
+
+// ReleaseAll discharges a whole generation.
+func ReleaseAll(parts [][]byte) { bufpool.PutAll(parts) }
+
+// Fill parks pooled buffers in the caller's slice (custody transfers out
+// through the parts parameter, like packWriteRound).
+func Fill(parts [][]byte, n int) {
+	for i := range parts {
+		parts[i] = Encode(n)
+	}
+}

@@ -1,0 +1,37 @@
+// Package fix is the unit-test fixture for the call-graph engine itself:
+// plain calls, method nodes, cross-package edges, and an interface call
+// resolved by class-hierarchy fan-out to every module implementor.
+package fix
+
+import "fixture/callgraph/helper"
+
+// Runner has two implementors below; a call through it fans out to both.
+type Runner interface {
+	Run(n int) int
+}
+
+type valueImpl struct{}
+
+func (valueImpl) Run(n int) int { return helper.Double(n) }
+
+type ptrImpl struct{ bias int }
+
+func (p *ptrImpl) Run(n int) int { return n + p.bias }
+
+// dispatch calls through the interface: edges to both Run implementations,
+// marked as interface edges.
+func dispatch(r Runner, n int) int { return r.Run(n) }
+
+// direct calls across the package boundary.
+func direct(n int) int { return helper.Double(n) }
+
+// viaMethod gives the graph a method-node caller.
+type caller struct{}
+
+func (c *caller) viaMethod(n int) int { return direct(n) }
+
+// inClosure calls only from inside a function literal; the edge is tagged
+// InClosure.
+func inClosure(n int) func() int {
+	return func() int { return direct(n) }
+}

@@ -1,0 +1,5 @@
+// Package helper is the cross-package callee of the callgraph fixture.
+package helper
+
+// Double is called from the fixture root, directly and through methods.
+func Double(n int) int { return n + n }

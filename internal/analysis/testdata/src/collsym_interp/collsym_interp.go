@@ -1,0 +1,45 @@
+// Package fix is the golden fixture for the interprocedural collsym
+// upgrade: the collective is hidden behind a cross-package helper, so only
+// the summary-based engine can connect the rank-conditioned branch to the
+// Barrier it eventually reaches. The same fixture must be CLEAN under the
+// intraprocedural checker (the strictly-more proof in the harness).
+package fix
+
+import (
+	"fixture/collsym_interp/helper"
+
+	"pnetcdf/internal/mpi"
+)
+
+// rankGuardedHelper is the canonical bug one extraction away: only rank 0
+// enters the helper, and the helper reaches a Barrier.
+func rankGuardedHelper(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		helper.SyncAll(c) // want `collective SyncAll \(which may reach Comm\.Barrier\) is conditioned on the process rank`
+	}
+}
+
+// rankGuardedDeepHelper reaches the collective through two levels of
+// helpers; the fixed-point summary propagation still sees it.
+func rankGuardedDeepHelper(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		helper.SyncTwice(c) // want `collective SyncTwice \(which may reach Comm\.Barrier\) is conditioned on the process rank`
+	}
+}
+
+// symmetricHelper is fine: both arms run the same helper, so the hidden
+// Barrier executes on every rank.
+func symmetricHelper(c *mpi.Comm, hdr []byte) {
+	if c.Rank() == 0 {
+		helper.SyncAll(c)
+	} else {
+		helper.SyncAll(c)
+	}
+}
+
+// pureHelper is fine: the helper reaches no collective.
+func pureHelper(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		helper.Pure(c)
+	}
+}

@@ -1,0 +1,17 @@
+// Package helper hides collective calls behind ordinary-looking functions;
+// the fixture's root package calls it across the package boundary.
+package helper
+
+import "pnetcdf/internal/mpi"
+
+// SyncAll reaches a collective directly.
+func SyncAll(c *mpi.Comm) { c.Barrier() }
+
+// SyncTwice reaches the collective only through SyncAll.
+func SyncTwice(c *mpi.Comm) {
+	SyncAll(c)
+	SyncAll(c)
+}
+
+// Pure reaches no collective.
+func Pure(c *mpi.Comm) int { return c.Size() }

@@ -128,6 +128,7 @@ func AblationVarAlign(m MachineSpec, nvars, nprocs int) (AblationResult, error) 
 			}
 			for i, v := range ids {
 				if i%nprocs == c.Rank() {
+					//nclint:allow=collsym -- inside BeginIndepData/EndIndepData: PutVara takes the independent path, no collective is reached
 					if err := d.PutVara(v, []int64{0}, []int64{stripe / 4}, buf); err != nil {
 						return err
 					}

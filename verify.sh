@@ -3,8 +3,9 @@
 # the FuzzDecode seed corpus (run as regular tests by go test), the
 # concurrent sharded-lock PFS stress test under the race detector
 # (TestConcurrentShardedStress), and the nclint invariant suite
-# (internal/analysis, DESIGN.md §10) over every package; any diagnostic
-# fails the gate. Toggles:
+# (internal/analysis, DESIGN.md §10/§14) over every package; any diagnostic
+# fails the gate. nclint runs in interprocedural mode (module call graph +
+# summaries) and its wall time is recorded and budgeted at 30s. Toggles:
 #   LINT=0   skip the nclint pass (escape hatch while iterating).
 #   CB_PARTITION=0  skip the cb_partition=balanced re-run of the collective
 #            suites (on by default; see DESIGN.md §12).
@@ -30,7 +31,18 @@ cd "$(dirname "$0")"
 go build ./...
 go vet ./...
 if [ "${LINT:-1}" = "1" ]; then
+    # Interprocedural mode is the default; keep it honest about cost: the
+    # whole-module pass (load + call graph + fixed-point summaries + all
+    # checkers) must finish inside a 30-second budget.
+    lint_t0=$(date +%s)
     go run ./cmd/nclint ./...
+    lint_t1=$(date +%s)
+    lint_secs=$((lint_t1 - lint_t0))
+    echo "nclint: interp pass took ${lint_secs}s"
+    if [ "$lint_secs" -ge 30 ]; then
+        echo "nclint: interp pass exceeded the 30s budget (${lint_secs}s)" >&2
+        exit 1
+    fi
 fi
 go test -race ./...
 
