@@ -106,6 +106,7 @@ func All() []*Checker {
 		Accounting(),
 		ErrCheckIO(),
 		AsyncWait(),
+		FTAgree(),
 	}
 }
 

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FTAgree is the post-revocation safety checker: once code has observed
+// that a communicator is revoked — an mpi.AsRevoked match or an
+// mpi.(*Comm).Revoked() test — the only operations that still complete on
+// that communicator are AgreeFT and Shrink (DESIGN.md §8). A regular
+// collective or point-to-point call on the revoked-path arm blocks on the
+// dead rank until the failure detector unwinds it, turning a clean
+// failover into a detection-latency stall at best and (with the detector
+// off) a hang:
+//
+//	if rv, ok := mpi.AsRevoked(err); ok {
+//	    comm.AllreduceI64(vals, mpi.OpMin) // blocks on the dead rank
+//	}
+//
+// The rule: inside a revocation-conditioned branch, no mpi.Comm collective
+// or point-to-point call may appear before a Shrink() call. AgreeFT and
+// Shrink themselves are the survivor-safe primitives and are always
+// allowed; after Shrink the code is assumed to address the survivor
+// communicator (the failover adopts it in place). The checker is local by
+// design — helpers that shrink internally (mpiio's failoverShrink) make
+// their callers' revoked paths collective-free, which this rule accepts.
+func FTAgree() *Checker {
+	return &Checker{
+		Name: "ftagree",
+		Doc:  "post-revocation paths must use survivor-safe collectives (AgreeFT/Shrink) before regular communicator traffic",
+		Run:  runFTAgree,
+	}
+}
+
+// ftUnsafeComm lists the mpi.Comm methods that block on dead ranks: the
+// collectives from collectiveMethods plus the point-to-point calls (a recv
+// from the dead rank is exactly the hang being prevented).
+func ftUnsafeComm(name string) bool {
+	if collectiveMethods["pnetcdf/internal/mpi.Comm"][name] {
+		return true
+	}
+	switch name {
+	case "Send", "Recv", "SendRecv", "Gatherv", "Allgatherv", "Scatterv", "Alltoallv":
+		return true
+	}
+	return false
+}
+
+// ftCommMethod resolves call to an mpi.Comm method name, or "".
+func ftCommMethod(pass *Pass, call *ast.CallExpr) string {
+	fn := pass.Callee(call)
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	if named.Obj().Pkg().Path()+"."+named.Obj().Name() != "pnetcdf/internal/mpi.Comm" {
+		return ""
+	}
+	return fn.Name()
+}
+
+// revocationObserved reports whether the statement/expression pair of an if
+// (Init; Cond) establishes "the communicator is revoked": a call to
+// mpi.AsRevoked or to mpi.(*Comm).Revoked anywhere in them.
+func revocationObserved(pass *Pass, init ast.Stmt, cond ast.Expr) bool {
+	found := false
+	check := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if fn := pass.Callee(call); fn != nil {
+			if fn.Pkg() != nil && fn.Pkg().Path() == "pnetcdf/internal/mpi" && fn.Name() == "AsRevoked" {
+				found = true
+			}
+		}
+		if ftCommMethod(pass, call) == "Revoked" {
+			found = true
+		}
+		return !found
+	}
+	if init != nil {
+		ast.Inspect(init, check)
+	}
+	if cond != nil {
+		ast.Inspect(cond, check)
+	}
+	return found
+}
+
+func runFTAgree(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok || !revocationObserved(pass, ifs.Init, ifs.Cond) {
+				return true
+			}
+			// Source-order walk of the revoked arm: traffic before the
+			// first Shrink is on the revoked communicator.
+			shrunk := false
+			ast.Inspect(ifs.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch name := ftCommMethod(pass, call); {
+				case name == "Shrink":
+					shrunk = true
+				case name == "AgreeFT" || name == "Die" || name == "Abort":
+					// Survivor-safe (or terminal) by construction.
+				case !shrunk && ftUnsafeComm(name):
+					pass.Reportf(call.Pos(),
+						"mpi.Comm.%s on a revoked communicator blocks on the dead rank; use AgreeFT, or Shrink first (survivor-safe failover, DESIGN.md §8)", name)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}

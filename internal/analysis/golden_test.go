@@ -129,6 +129,7 @@ func TestBufPoolGolden(t *testing.T)    { runGolden(t, "bufpool", "bufpool") }
 func TestSpanPairGolden(t *testing.T)   { runGolden(t, "spanpair", "spanpair") }
 func TestAccountingGolden(t *testing.T) { runGolden(t, "accounting", "accounting") }
 func TestErrCheckIOGolden(t *testing.T) { runGolden(t, "errcheckio", "errcheckio") }
+func TestFTAgreeGolden(t *testing.T)    { runGolden(t, "ftagree", "ftagree") }
 
 // TestRepoClean is the self-check: the suite must report nothing on the
 // repository itself, so a PR that introduces a violation (or a checker

@@ -1,0 +1,62 @@
+// Package ftagree is the golden fixture for the post-revocation safety
+// checker: inside a branch that observed a revoked communicator, only
+// AgreeFT and Shrink are survivor-safe; other mpi.Comm traffic blocks on
+// the dead rank.
+package ftagree
+
+import "pnetcdf/internal/mpi"
+
+// collectiveOnRevoked is the canonical bug: the failover path runs a
+// regular collective, which waits on the dead rank.
+func collectiveOnRevoked(c *mpi.Comm, err error) {
+	if rv, ok := mpi.AsRevoked(err); ok {
+		_ = rv
+		c.AllreduceI64([]int64{1}, mpi.OpMin) // want `mpi\.Comm\.AllreduceI64 on a revoked communicator`
+	}
+}
+
+// pointToPointOnRevoked: a recv from a peer hangs just the same.
+func pointToPointOnRevoked(c *mpi.Comm, err error) {
+	if _, ok := mpi.AsRevoked(err); ok {
+		c.Recv(0, 1) // want `mpi\.Comm\.Recv on a revoked communicator`
+	}
+}
+
+// revokedQuery: the Revoked() form of the observation counts too.
+func revokedQuery(c *mpi.Comm) {
+	if c.Revoked() {
+		c.Barrier() // want `mpi\.Comm\.Barrier on a revoked communicator`
+	}
+}
+
+// agreeThenShrink is the survivor-safe protocol: AgreeFT for the resume
+// point, Shrink for the new communicator, regular collectives after.
+func agreeThenShrink(c *mpi.Comm, err error) error {
+	if rv, ok := mpi.AsRevoked(err); ok {
+		_ = rv
+		c.AgreeFT([]int64{0}, mpi.OpMin)
+		nc, serr := c.Shrink()
+		if serr != nil {
+			return serr
+		}
+		nc.AllreduceI64([]int64{1}, mpi.OpSum)
+		c.Barrier() // fine for this checker: after Shrink the failover has adopted the survivor communicator in place
+	}
+	return nil
+}
+
+// shrinkInHelper: a revoked arm with no direct communicator traffic is
+// fine — helpers like mpiio's failoverShrink do the survivor-safe work.
+func shrinkInHelper(c *mpi.Comm, err error, failover func() error) error {
+	if _, ok := mpi.AsRevoked(err); ok {
+		return failover()
+	}
+	return nil
+}
+
+// unrelatedBranch: revocation not observed, no constraint.
+func unrelatedBranch(c *mpi.Comm, degraded bool) {
+	if degraded {
+		c.Barrier()
+	}
+}

@@ -18,14 +18,27 @@ type FaultOptions struct {
 	// Seed selects the deterministic fault schedule (same seed, same
 	// faults, same virtual-time result).
 	Seed uint64
+	// KillPoint, when non-empty, arms a one-shot rank kill at the named
+	// two-phase crash point (fault.KillBeforePack, fault.KillMidExchange,
+	// fault.KillAfterIssue). The failure-tolerance path (DESIGN.md §8) only
+	// engages when the deadline detector is also on (PNETCDF_FT_TIMEOUT);
+	// without it a kill deadlocks the survivors by design, so the bench
+	// flags set both together.
+	KillPoint string
+	// KillRank is the world rank to kill (meaningful with KillPoint).
+	KillRank int
+	// KillOccurrence selects which passage of KillRank through KillPoint
+	// fires, 0-based (e.g. the Nth round's pack).
+	KillOccurrence int64
 }
 
-// apply installs an injector on fsys when Rate is nonzero.
+// apply installs an injector on fsys when Rate is nonzero or a rank kill
+// is armed.
 func (fo FaultOptions) apply(fsys *pfs.FS) {
-	if fo.Rate <= 0 {
+	if fo.Rate <= 0 && fo.KillPoint == "" {
 		return
 	}
-	fsys.SetFault(fault.New(fault.Config{
+	inj := fault.New(fault.Config{
 		Seed:         fo.Seed,
 		ReadErrRate:  fo.Rate,
 		WriteErrRate: fo.Rate,
@@ -33,5 +46,9 @@ func (fo FaultOptions) apply(fsys *pfs.FS) {
 		LatencyRate:  fo.Rate,
 		LatencySpike: 2e-3,
 		FaultUnit:    64 << 10,
-	}))
+	})
+	if fo.KillPoint != "" {
+		inj.KillRankAt(fo.KillRank, fo.KillPoint, fo.KillOccurrence)
+	}
+	fsys.SetFault(inj)
 }

@@ -111,6 +111,11 @@ func RunFigure7(opt Fig7Options) (*Figure7, error) {
 }
 
 func runFlashOnce(opt Fig7Options, nprocs int, hdf5 bool) (flash.Report, *iostat.Summary, error) {
+	if hdf5 {
+		// Rank kills target the PnetCDF failover path; the HDF5 comparison
+		// run has no failover and would just lose a rank.
+		opt.Fault.KillPoint = ""
+	}
 	cfg := opt.Machine.FS
 	cfg.Discard = opt.Discard
 	fsys := pfs.New(cfg)

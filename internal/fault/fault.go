@@ -36,6 +36,20 @@ var (
 	// ErrRetriesExhausted wraps the last transient error once a retry
 	// policy gives up; it is permanent (callers must not keep retrying).
 	ErrRetriesExhausted = errors.New("fault: retries exhausted")
+	// ErrKilled is the reason a rank-kill (KillRank) passes to mpi's
+	// Comm.Die: the rank crashed outright mid-operation.
+	ErrKilled = errors.New("fault: rank killed at crash point")
+)
+
+// Named rank-kill points inside the two-phase collective path (mpiio
+// consults KillCheck at each). They bracket the interesting windows of a
+// round: before any state is packed, after the rank's sends are out but
+// before its receives complete, and — pipelined path only — after the
+// aggregator's async I/O is issued but before its Wait.
+const (
+	KillBeforePack  = "before_pack"
+	KillMidExchange = "mid_exchange"
+	KillAfterIssue  = "after_issue"
 )
 
 // IsTransient reports whether err may clear on retry. Exhausted retries are
@@ -97,6 +111,26 @@ type Injector struct {
 	crashAt       int64
 	crashTruncate bool
 	injected      int64
+
+	// kill is the armed rank-kill, nil when none. killSeen counts, per
+	// (rank, point), how many times that rank has passed that kill point —
+	// program order per rank, so the schedule is deterministic regardless
+	// of goroutine interleaving, exactly like the transient-fault draws.
+	kill     *killSpec
+	killSeen map[killKey]int64
+}
+
+// killSpec is one armed rank-kill: terminate rank the occurrence-th time
+// (0-based) it passes the named point.
+type killSpec struct {
+	rank       int
+	point      string
+	occurrence int64
+}
+
+type killKey struct {
+	rank  int
+	point string
 }
 
 type opKey struct {
@@ -134,6 +168,56 @@ func (in *Injector) ArmCrash(atByte int64, truncateFile bool) {
 	in.crashAt = atByte
 	in.crashTruncate = truncateFile
 	in.mu.Unlock()
+}
+
+// KillRank arms a one-shot rank-kill: the next time rank passes the named
+// kill point, KillCheck tells it to die (mpiio calls Comm.Die there). Use
+// the Kill* point constants.
+func (in *Injector) KillRank(rank int, point string) {
+	in.KillRankAt(rank, point, 0)
+}
+
+// KillRankAt arms a rank-kill at the occurrence-th (0-based) passage of
+// rank through the named point, for killing mid-run rather than at the
+// first round.
+func (in *Injector) KillRankAt(rank int, point string, occurrence int64) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.kill = &killSpec{rank: rank, point: point, occurrence: occurrence}
+	if in.killSeen == nil {
+		in.killSeen = map[killKey]int64{}
+	}
+	in.mu.Unlock()
+}
+
+// KillCheck reports whether the calling rank must die here, counting this
+// passage of rank through point either way. One-shot: the armed kill is
+// consumed when it fires.
+func (in *Injector) KillCheck(rank int, point string) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.kill == nil {
+		return false
+	}
+	if in.kill.rank != rank || in.kill.point != point {
+		// Count only points some armed kill could name: unarmed traffic
+		// must not perturb occurrence numbering across configurations.
+		return false
+	}
+	key := killKey{rank: rank, point: point}
+	occ := in.killSeen[key]
+	in.killSeen[key] = occ + 1
+	if occ != in.kill.occurrence {
+		return false
+	}
+	in.kill = nil
+	in.injected++
+	return true
 }
 
 // CrashArmed reports whether a crash point is pending.

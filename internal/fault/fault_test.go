@@ -234,3 +234,69 @@ func TestFaultyStoreCrashTruncates(t *testing.T) {
 		t.Fatalf("n=%d size=%d, want 50/50", n, len(ms.data))
 	}
 }
+
+// TestKillCheckFiresAtOccurrence: the armed (rank, point, occurrence)
+// fires exactly once, at exactly that passage, and only for the armed
+// rank and point.
+func TestKillCheckFiresAtOccurrence(t *testing.T) {
+	in := New(Config{Seed: 1})
+	in.KillRankAt(2, KillMidExchange, 3)
+	for occ := 0; occ < 3; occ++ {
+		if in.KillCheck(2, KillMidExchange) {
+			t.Fatalf("fired at occurrence %d, armed for 3", occ)
+		}
+	}
+	// Other ranks and points never fire and never perturb the count.
+	if in.KillCheck(1, KillMidExchange) || in.KillCheck(2, KillBeforePack) || in.KillCheck(2, KillAfterIssue) {
+		t.Fatal("unarmed rank/point fired")
+	}
+	if !in.KillCheck(2, KillMidExchange) {
+		t.Fatal("did not fire at armed occurrence")
+	}
+	if got := in.Injected(); got != 1 {
+		t.Fatalf("Injected() = %d after kill, want 1", got)
+	}
+}
+
+// TestKillCheckOneShot: after firing, the injector is disarmed — further
+// passages, even matching ones, survive.
+func TestKillCheckOneShot(t *testing.T) {
+	in := New(Config{Seed: 1})
+	in.KillRank(0, KillBeforePack)
+	if !in.KillCheck(0, KillBeforePack) {
+		t.Fatal("armed kill did not fire at occurrence 0")
+	}
+	for i := 0; i < 5; i++ {
+		if in.KillCheck(0, KillBeforePack) {
+			t.Fatal("kill fired twice")
+		}
+	}
+}
+
+// TestKillCheckUnarmedCountsNothing: traffic through kill points while
+// nothing is armed must not advance occurrence numbering, so a later
+// KillRankAt(r, p, 0) still fires at its first post-arm passage. This is
+// what keeps occurrence numbers meaningful across configurations (e.g. the
+// H5 comparison run sharing a binary with the PnetCDF run).
+func TestKillCheckUnarmedCountsNothing(t *testing.T) {
+	in := New(Config{Seed: 1})
+	for i := 0; i < 4; i++ {
+		if in.KillCheck(1, KillMidExchange) {
+			t.Fatal("unarmed injector fired")
+		}
+	}
+	in.KillRank(1, KillMidExchange)
+	if !in.KillCheck(1, KillMidExchange) {
+		t.Fatal("kill did not fire at first post-arm passage")
+	}
+}
+
+// TestKillCheckNilSafe: the nil injector neither fires nor panics.
+func TestKillCheckNilSafe(t *testing.T) {
+	var in *Injector
+	in.KillRank(0, KillBeforePack)
+	in.KillRankAt(0, KillBeforePack, 2)
+	if in.KillCheck(0, KillBeforePack) {
+		t.Fatal("nil injector fired")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"pnetcdf/internal/core"
 	"pnetcdf/internal/h5sim"
 	"pnetcdf/internal/mpi"
+	"pnetcdf/internal/mpiio"
 	"pnetcdf/internal/mpitype"
 	"pnetcdf/internal/nctype"
 	"pnetcdf/internal/pfs"
@@ -159,6 +160,14 @@ func treeData(first, n int) (lrefine, nodetype []int32, coords []float64) {
 type Report struct {
 	Bytes   int64   // data bytes written by all processes
 	Seconds float64 // virtual makespan of the output phase
+
+	// Degraded holds one *mpiio.DegradedError per variable whose collective
+	// write completed without a failed rank's data (DESIGN.md §8). A
+	// degraded checkpoint is still a valid, validatable file — the solver
+	// decides whether missing blocks are tolerable — so the writer records
+	// the losses and keeps writing the remaining variables rather than
+	// abandoning the file.
+	Degraded []error
 }
 
 // BandwidthMBps returns the aggregate bandwidth in MB/s.
@@ -231,17 +240,32 @@ func writePnetCDF(comm *mpi.Comm, fsys *pfs.FS, path string, cfg Config, info *m
 		return Report{}, err
 	}
 
+	// A degraded completion (rank death survived by failover) loses only
+	// data the dead rank held alone; the file and the remaining variables
+	// are fine, so record it and continue instead of abandoning the file.
+	var degraded []error
+	tolerate := func(err error) error {
+		if err == nil {
+			return nil
+		}
+		if _, ok := mpiio.AsDegraded(err); ok {
+			degraded = append(degraded, err)
+			return nil
+		}
+		return err
+	}
+
 	// Tree metadata.
 	lref, node, coords := treeData(first, cfg.BlocksPerProc)
 	bstart := []int64{int64(first)}
 	bcount := []int64{int64(cfg.BlocksPerProc)}
-	if err := d.PutVaraAll(vLref, bstart, bcount, lref); err != nil {
+	if err := tolerate(d.PutVaraAll(vLref, bstart, bcount, lref)); err != nil {
 		return Report{}, err
 	}
-	if err := d.PutVaraAll(vNode, bstart, bcount, node); err != nil {
+	if err := tolerate(d.PutVaraAll(vNode, bstart, bcount, node)); err != nil {
 		return Report{}, err
 	}
-	if err := d.PutVaraAll(vCoord, []int64{int64(first), 0}, []int64{int64(cfg.BlocksPerProc), 3}, coords); err != nil {
+	if err := tolerate(d.PutVaraAll(vCoord, []int64{int64(first), 0}, []int64{int64(cfg.BlocksPerProc), 3}, coords)); err != nil {
 		return Report{}, err
 	}
 
@@ -252,7 +276,7 @@ func writePnetCDF(comm *mpi.Comm, fsys *pfs.FS, path string, cfg Config, info *m
 		fcount := []int64{int64(cfg.BlocksPerProc), int64(zname), int64(yname), int64(xname)}
 		if corners {
 			buf := cfg.FillCorners(i, first, cfg.BlocksPerProc)
-			if err := d.PutVaraAll(varids[i], fstart, fcount, buf); err != nil {
+			if err := tolerate(d.PutVaraAll(varids[i], fstart, fcount, buf)); err != nil {
 				return Report{}, err
 			}
 			bytes += int64(len(buf)) * 4
@@ -268,7 +292,7 @@ func writePnetCDF(comm *mpi.Comm, fsys *pfs.FS, path string, cfg Config, info *m
 		if err != nil {
 			return Report{}, err
 		}
-		if err := d.PutVaraTypeAll(varids[i], fstart, fcount, buf, memtype); err != nil {
+		if err := tolerate(d.PutVaraTypeAll(varids[i], fstart, fcount, buf, memtype)); err != nil {
 			return Report{}, err
 		}
 		bytes += memtype.Size() * int64(typ.Size())
@@ -278,7 +302,7 @@ func writePnetCDF(comm *mpi.Comm, fsys *pfs.FS, path string, cfg Config, info *m
 	}
 	end := comm.AllreduceF64([]float64{comm.Clock()}, mpi.OpMax)[0]
 	totBytes := comm.AllreduceI64([]int64{bytes}, mpi.OpSum)[0]
-	return Report{Bytes: totBytes, Seconds: end - t0}, nil
+	return Report{Bytes: totBytes, Seconds: end - t0, Degraded: degraded}, nil
 }
 
 // WriteCheckpointH5 produces the checkpoint with the HDF5-style library.

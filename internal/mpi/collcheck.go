@@ -61,3 +61,26 @@ func (cc *collCheck) record(c *Comm, ctx int64, op string) {
 	}
 	cc.mu.Unlock()
 }
+
+// purgeComm drops every in-flight registration of communicator commID.
+//
+// The registry's bounded-size argument assumes every member of a
+// communicator eventually checks in; a rank that dies (Comm.Die) never
+// does, so each collective it missed would leave a permanent entry —
+// worse, after a failover the survivors' replay on the shrunken
+// communicator is counted against a smaller Size, while the stale entries
+// of the revoked communicator could only be freed by a ghost. Revocation
+// therefore purges the revoked communicator's entries wholesale; its
+// sequence is over. Entries on other communicators that also contained the
+// dead rank but were never revoked (nobody touched them again) still leak
+// until the world ends — a bounded, documented cost of the audit trade-off
+// rather than tracking full membership per entry.
+func (cc *collCheck) purgeComm(commID int64) {
+	cc.mu.Lock()
+	for ctx := range cc.ops {
+		if ctx>>32 == commID {
+			delete(cc.ops, ctx)
+		}
+	}
+	cc.mu.Unlock()
+}

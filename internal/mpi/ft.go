@@ -1,0 +1,496 @@
+package mpi
+
+// ULFM-style rank-failure tolerance (DESIGN.md §8). PR 2's error agreement
+// assumes every rank survives to vote; a rank that crashes outright leaves
+// its peers blocked in recv forever. This file adds the three ULFM
+// primitives on top of the simulated runtime:
+//
+//   - a deadline-based failure detector: with PNETCDF_FT_TIMEOUT set (or
+//     RunFT), a rank blocked in a point-to-point or collective receive for
+//     longer than the deadline while a member of its communicator is dead
+//     REVOKES the communicator. Detection is wall-clock (the virtual clock
+//     does not advance while a rank is blocked, which is exactly the
+//     condition being detected). A background ticker wakes blocked
+//     receivers so deadlines fire without any message traffic.
+//
+//   - revocation: once a communicator is revoked, every pending and future
+//     operation on it panics *ErrRevoked carrying the same failed-rank set
+//     on every survivor. The set is agreed through shared memory (the
+//     world's revocation table), not a collective, so agreement itself can
+//     never block on the dead. mpiio catches the panic at the collective
+//     I/O boundary via CatchRevoked.
+//
+//   - Comm.AgreeFT + Comm.Shrink: a survivor-only reduction usable on the
+//     revoked communicator (binomial trees over the dense survivor list,
+//     contexts in a reserved band) and a dense survivor communicator for
+//     everything afterwards.
+//
+// Ranks die only via Comm.Die (the fault injector's KillRank calls it), so
+// "dead" is always ground truth here; the deadline models the detection
+// delay a real ULFM runtime pays, not uncertainty about liveness. With the
+// detector disabled a dead rank hangs its peers exactly like real MPI —
+// the fault suites run under go test -timeout for that reason.
+//
+// Honest limits: a single failure per communicator generation is detected
+// and agreed symmetrically. Cascading failures (a second rank dying during
+// revocation handling) are best-effort: no survivor hangs, but ranks may
+// observe different generations and the run degrades to a world abort
+// rather than a clean failover.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pnetcdf/internal/iostat"
+	"pnetcdf/internal/span"
+)
+
+// FTTimeoutEnv names the environment variable that arms the failure
+// detector for Run: a Go duration ("250ms", "2s"). Empty, unparsable, or
+// non-positive values leave detection off (today's semantics: a dead rank
+// hangs its peers).
+const FTTimeoutEnv = "PNETCDF_FT_TIMEOUT"
+
+// ftCtxBit marks a message context as belonging to the post-revocation
+// agreement band: bit 30 set, the revocation generation in bits 24-29, and
+// a per-generation sequence in bits 0-23. Regular collectives would need
+// 2^30 operations on one communicator to collide with the band.
+const (
+	ftCtxBit    = int64(1) << 30
+	ftCtxGenSh  = 24
+	ftCtxGenMax = 0x3F
+	ftCtxSeqMax = 0xFFFFFF
+)
+
+// ErrRevoked is the error carried by the panic every operation on a revoked
+// communicator raises: the communicator lost a member and can no longer
+// complete collectives. Failed holds the communicator ranks of the dead
+// members (sorted); Gen is the revocation generation (it grows if further
+// members die). Catch it at a failover boundary with CatchRevoked.
+type ErrRevoked struct {
+	Failed []int
+	Gen    int
+}
+
+func (e *ErrRevoked) Error() string {
+	return fmt.Sprintf("mpi: communicator revoked (failed ranks %v, generation %d)", e.Failed, e.Gen)
+}
+
+// AsRevoked unwraps err to its *ErrRevoked, if it is one.
+func AsRevoked(err error) (*ErrRevoked, bool) {
+	var rv *ErrRevoked
+	if errors.As(err, &rv) {
+		return rv, true
+	}
+	return nil, false
+}
+
+// CatchRevoked runs fn, converting an *ErrRevoked panic into an error
+// return. Every other panic (including ErrAborted) propagates. It is the
+// boundary at which mpiio's failover catches a revocation raised deep
+// inside a collective.
+func CatchRevoked(fn func() error) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if rv, ok := rec.(*ErrRevoked); ok {
+				err = rv
+				return
+			}
+			panic(rec)
+		}
+	}()
+	return fn()
+}
+
+// ErrWorldFT is returned by FT entry points when the world was started
+// without a failure detector.
+var ErrWorldFT = errors.New("mpi: world has no failure detector (set PNETCDF_FT_TIMEOUT or use RunFT)")
+
+// rankKilled is the panic payload of Comm.Die: a simulated rank crash. Run
+// treats it as a benign exit of that one goroutine — no world abort, no
+// error — leaving its peers to detect the silence.
+type rankKilled struct {
+	rank   int // world rank
+	reason error
+}
+
+// ftState is the world's failure-tolerance state; nil when detection is
+// off.
+type ftState struct {
+	timeout time.Duration
+	dead    []atomic.Bool // by world rank
+	deadN   atomic.Int32  // fast-path gate: number of dead ranks
+	revGen  atomic.Int64  // fast-path gate: total revocations issued
+
+	mu      sync.Mutex
+	revoked map[int64]*revokeState // commID -> revocation
+}
+
+// revokeState is one communicator's revocation: the agreed failed set and
+// the shrunken-communicator IDs allocated per generation (shared-memory
+// agreement — every survivor reads the same ID without messaging).
+type revokeState struct {
+	failed []int // world ranks, sorted
+	gen    int
+	shrunk map[int]int64 // generation -> commID of the Shrink result
+}
+
+// revokeInfo is an immutable snapshot of a revocation, safe to use without
+// the ftState lock.
+type revokeInfo struct {
+	failed []int // world ranks, sorted
+	gen    int
+}
+
+func newFTState(n int, timeout time.Duration) *ftState {
+	return &ftState{
+		timeout: timeout,
+		dead:    make([]atomic.Bool, n),
+		revoked: map[int64]*revokeState{},
+	}
+}
+
+// ftTimeoutFromEnv parses PNETCDF_FT_TIMEOUT; zero means detection off.
+func ftTimeoutFromEnv() time.Duration {
+	v := os.Getenv(FTTimeoutEnv)
+	if v == "" {
+		return 0
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		return 0
+	}
+	return d
+}
+
+// FTEnabled reports whether the world runs a failure detector.
+func (c *Comm) FTEnabled() bool { return c.world.ft != nil }
+
+// Die terminates the calling rank mid-operation, simulating a crash: the
+// rank's goroutine unwinds (deferred cleanups run, matching a real
+// process's closed descriptors) and never communicates again. With the
+// failure detector armed its peers revoke the communicators it belonged
+// to; without it they hang, like real MPI. Never returns.
+func (c *Comm) Die(reason error) {
+	wr := c.group[c.rank]
+	if ft := c.world.ft; ft != nil {
+		if !ft.dead[wr].Swap(true) {
+			ft.deadN.Add(1)
+		}
+		// Wake every blocked receiver: their deadline countdown starts at
+		// their own wait start, but an early check costs nothing.
+		c.world.broadcastAll()
+	}
+	panic(rankKilled{rank: wr, reason: reason})
+}
+
+// broadcastAll wakes every rank blocked in recv (deadline checks and
+// revocation discovery). Never called with any box lock held.
+func (w *World) broadcastAll() {
+	for _, b := range w.boxes {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+}
+
+// revoke merges failedWorld into commID's revocation, bumping the
+// generation only when the failed set actually grew, and wakes all ranks
+// so they observe it. Idempotent: concurrent detectors of the same death
+// merge to one generation.
+func (w *World) revoke(commID int64, failedWorld []int) {
+	ft := w.ft
+	ft.mu.Lock()
+	rs := ft.revoked[commID]
+	if rs == nil {
+		rs = &revokeState{shrunk: map[int]int64{}}
+		ft.revoked[commID] = rs
+	}
+	grew := false
+	for _, wr := range failedWorld {
+		if !containsInt(rs.failed, wr) {
+			rs.failed = append(rs.failed, wr)
+			grew = true
+		}
+	}
+	if grew {
+		sort.Ints(rs.failed)
+		rs.gen++
+		ft.revGen.Add(1)
+	}
+	ft.mu.Unlock()
+	if grew {
+		if cc := w.ccheck; cc != nil {
+			cc.purgeComm(commID)
+		}
+		w.broadcastAll()
+	}
+}
+
+// revokedInfo snapshots the calling communicator's revocation state.
+func (c *Comm) revokedInfo() (revokeInfo, bool) {
+	ft := c.world.ft
+	if ft == nil || ft.revGen.Load() == 0 {
+		return revokeInfo{}, false
+	}
+	ft.mu.Lock()
+	rs := ft.revoked[c.ctx>>32]
+	if rs == nil {
+		ft.mu.Unlock()
+		return revokeInfo{}, false
+	}
+	ri := revokeInfo{failed: append([]int(nil), rs.failed...), gen: rs.gen}
+	ft.mu.Unlock()
+	return ri, true
+}
+
+// Revoked reports whether the communicator has been revoked. After it
+// returns true, only AgreeFT and Shrink complete on this communicator;
+// everything else panics *ErrRevoked (see the nclint ftagree rule).
+func (c *Comm) Revoked() bool {
+	_, ok := c.revokedInfo()
+	return ok
+}
+
+// revokedErr builds the caller-facing *ErrRevoked: failed world ranks
+// translated to communicator ranks.
+func (c *Comm) revokedErr(ri revokeInfo) *ErrRevoked {
+	var failed []int
+	for cr, wr := range c.group {
+		if containsInt(ri.failed, wr) {
+			failed = append(failed, cr)
+		}
+	}
+	return &ErrRevoked{Failed: failed, Gen: ri.gen}
+}
+
+// panicRevoked raises the revocation on the calling rank, recording the
+// detection (ft_failures_detected + an ft_detect span) once per generation.
+func (c *Comm) panicRevoked(ri revokeInfo) {
+	if c.ftObserved < ri.gen {
+		c.ftObserved = ri.gen
+		c.proc.stats.Add(iostat.FTFailuresDetected, 1)
+		c.proc.spans.Record(span.FTDetect, ri.gen, c.proc.clock, c.proc.clock, 0)
+	}
+	panic(c.revokedErr(ri))
+}
+
+// ftCheckRevoked panics the revocation if the communicator is revoked (or,
+// in pinned mode, revoked beyond the pinned generation). The fast path is
+// one atomic load.
+func (c *Comm) ftCheckRevoked(pinned *revokeInfo) {
+	ri, ok := c.revokedInfo()
+	if !ok {
+		return
+	}
+	if pinned != nil && ri.gen <= pinned.gen {
+		return // the revocation the caller is already handling
+	}
+	c.panicRevoked(ri)
+}
+
+// deadInGroup returns the dead members of the group as world ranks.
+// Fast path: one atomic load when nobody has died.
+func (c *Comm) deadInGroup() []int {
+	ft := c.world.ft
+	if ft.deadN.Load() == 0 {
+		return nil
+	}
+	var dead []int
+	for _, wr := range c.group {
+		if ft.dead[wr].Load() {
+			dead = append(dead, wr)
+		}
+	}
+	return dead
+}
+
+// ftCheckDeadline is the detector: called with the receiver's box lock
+// held, it revokes the communicator once the rank has been blocked past the
+// deadline while a member (beyond any pinned failed set) is dead. Returns
+// true if it revoked (the caller re-loops and the revocation check fires).
+// The box lock is dropped around the revocation broadcast — holding one box
+// while locking all of them would deadlock against a concurrent revoker.
+func (c *Comm) ftCheckDeadline(box *mailbox, waitStart time.Time, pinned *revokeInfo) bool {
+	ft := c.world.ft
+	dead := c.deadInGroup()
+	if pinned != nil {
+		filtered := dead[:0]
+		for _, wr := range dead {
+			if !containsInt(pinned.failed, wr) {
+				filtered = append(filtered, wr)
+			}
+		}
+		dead = filtered
+	}
+	if len(dead) == 0 || time.Since(waitStart) < ft.timeout {
+		return false
+	}
+	box.mu.Unlock()
+	c.world.revoke(c.ctx>>32, dead)
+	box.mu.Lock()
+	return true
+}
+
+// nextFTCtx reserves a message context in the post-revocation band for
+// generation gen. The per-generation sequence restarts at the generation
+// boundary, so all survivors of the same revocation stay in lockstep even
+// if their pre-revocation positions differed.
+func (c *Comm) nextFTCtx(gen int) int64 {
+	if c.ftGen != gen {
+		c.ftGen, c.ftSeq = gen, 0
+	}
+	c.ftSeq++
+	return c.ctx | ftCtxBit | int64(gen&ftCtxGenMax)<<ftCtxGenSh | (c.ftSeq & ftCtxSeqMax)
+}
+
+// survivors returns the communicator ranks not in the failed world-rank
+// set, in rank order (dense survivor indexing for AgreeFT's trees and for
+// Shrink's group).
+func (c *Comm) survivors(failedWorld []int) []int {
+	var surv []int
+	for cr, wr := range c.group {
+		if !containsInt(failedWorld, wr) {
+			surv = append(surv, cr)
+		}
+	}
+	return surv
+}
+
+// AgreeFT is the survivor-safe elementwise reduction: on a healthy
+// communicator it is exactly AllreduceI64; on a revoked one it reduces over
+// the survivors of the agreed failed set using binomial trees indexed by
+// dense survivor position, with message contexts in the reserved
+// post-revocation band — it can never wait on a dead rank. It is the only
+// collective (besides Shrink) that completes after revocation; failover
+// protocols agree their resume point through it.
+func (c *Comm) AgreeFT(vals []int64, op Op) []int64 {
+	ri, ok := c.revokedInfo()
+	if !ok {
+		return c.AllreduceI64(vals, op)
+	}
+	surv := c.survivors(ri.failed)
+	me := -1
+	for i, cr := range surv {
+		if cr == c.rank {
+			me = i
+		}
+	}
+	if me < 0 {
+		// A dead rank cannot call anything, so this is a caller bug.
+		c.Abort(fmt.Errorf("mpi: AgreeFT by failed rank %d", c.rank))
+	}
+	c.proc.stats.Add(iostat.MPICollectives, 1)
+	p := len(surv)
+	acc := append([]int64(nil), vals...)
+	// Binomial fan-in to survivor 0 over dense survivor indices.
+	ctx := c.nextFTCtx(ri.gen)
+	for mask := 1; mask < p; mask <<= 1 {
+		if me&mask != 0 {
+			c.sendFT(surv[me&^mask], tagFanIn, ctx, EncodeI64s(acc))
+			acc = nil
+			break
+		}
+		if child := me | mask; child < p {
+			b := DecodeI64s(c.recvFT(surv[child], tagFanIn, ctx, ri).data)
+			for i := range acc {
+				acc[i] = reduceI64(op, acc[i], b[i])
+			}
+		}
+	}
+	// Binomial fan-out of the result from survivor 0.
+	ctx = c.nextFTCtx(ri.gen)
+	recvMask := 0
+	for mask := 1; mask < p; mask <<= 1 {
+		if me&mask != 0 {
+			recvMask = mask
+			break
+		}
+	}
+	if recvMask != 0 {
+		acc = DecodeI64s(c.recvFT(surv[me&^recvMask], tagFanOut, ctx, ri).data)
+	}
+	top := recvMask
+	if me == 0 {
+		top = 1
+		for top < p {
+			top <<= 1
+		}
+	}
+	for mask := top >> 1; mask >= 1; mask >>= 1 {
+		if child := me | mask; child != me && child < p {
+			c.sendFT(surv[child], tagFanOut, ctx, EncodeI64s(acc))
+		}
+	}
+	return acc
+}
+
+// Shrink returns the dense survivor communicator of a revoked
+// communicator: the survivors in rank order, renumbered from 0, under a
+// fresh message context. The new communicator ID is agreed through the
+// revocation table (one allocation per generation, every survivor reads
+// the same ID), so Shrink — like AgreeFT — cannot block on the dead.
+func (c *Comm) Shrink() (*Comm, error) {
+	ft := c.world.ft
+	if ft == nil {
+		return nil, ErrWorldFT
+	}
+	ri, ok := c.revokedInfo()
+	if !ok {
+		return nil, errors.New("mpi: Shrink on a communicator that is not revoked")
+	}
+	ft.mu.Lock()
+	rs := ft.revoked[c.ctx>>32]
+	id := rs.shrunk[ri.gen]
+	if id == 0 {
+		c.world.mu.Lock()
+		c.world.commSeq++
+		id = c.world.commSeq
+		c.world.mu.Unlock()
+		rs.shrunk[ri.gen] = id
+	}
+	ft.mu.Unlock()
+	surv := c.survivors(ri.failed)
+	group := make([]int, len(surv))
+	myRank := -1
+	for i, cr := range surv {
+		group[i] = c.group[cr]
+		if cr == c.rank {
+			myRank = i
+		}
+	}
+	if myRank < 0 {
+		return nil, fmt.Errorf("mpi: Shrink by failed rank %d", c.rank)
+	}
+	c.proc.stats.Add(iostat.FTCommShrinks, 1)
+	c.proc.spans.Record(span.FTShrink, ri.gen, c.proc.clock, c.proc.clock, 0)
+	return &Comm{world: c.world, proc: c.proc, rank: myRank, group: group, ctx: id << 32}, nil
+}
+
+// sendFT delivers a post-revocation message: no revocation check (the
+// caller is the revocation handler), and sends to dead ranks are dropped
+// instead of queued.
+func (c *Comm) sendFT(dst, tag int, ctx int64, data []byte) {
+	c.sendCore(dst, tag, ctx, data, true)
+}
+
+// recvFT receives in the post-revocation band on behalf of a handler
+// pinned to revocation ri: only a revocation beyond ri.gen (a further
+// death) unwinds it.
+func (c *Comm) recvFT(src, tag int, ctx int64, ri revokeInfo) message {
+	return c.recvCore(src, tag, ctx, &ri)
+}
+
+func containsInt(sorted []int, v int) bool {
+	for _, x := range sorted {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,348 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// ftTestTimeout keeps detection latency low without risking flaky
+// deadline fires on loaded CI machines: the detector only fires when a
+// group member is genuinely dead, so a short deadline cannot
+// false-positive.
+const ftTestTimeout = 10 * time.Millisecond
+
+// TestFTDieRevokesBlockedPeers is the core no-hang property: a rank dying
+// mid-collective leaves every survivor with the same *ErrRevoked instead
+// of a hang, and the survivors can agree, shrink, and finish on the
+// survivor communicator.
+func TestFTDieRevokesBlockedPeers(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		for victim := 1; victim < n; victim += 2 {
+			var mu sync.Mutex
+			failedSets := map[int][]int{}
+			err := RunFT(n, DefaultNet(), ftTestTimeout, func(c *Comm) error {
+				if c.Rank() == victim {
+					c.Die(errors.New("test kill"))
+				}
+				cerr := CatchRevoked(func() error {
+					c.AllreduceI64([]int64{int64(c.Rank())}, OpSum)
+					return nil
+				})
+				rv, ok := AsRevoked(cerr)
+				if !ok {
+					return fmt.Errorf("rank %d: got %v, want ErrRevoked", c.Rank(), cerr)
+				}
+				mu.Lock()
+				failedSets[c.Rank()] = rv.Failed
+				mu.Unlock()
+				// Survivor-side recovery completes post-revocation.
+				sum := c.AgreeFT([]int64{int64(c.Rank())}, OpSum)[0]
+				want := int64(0)
+				for r := 0; r < n; r++ {
+					if r != victim {
+						want += int64(r)
+					}
+				}
+				if sum != want {
+					return fmt.Errorf("rank %d: AgreeFT sum %d, want %d", c.Rank(), sum, want)
+				}
+				nc, err := c.Shrink()
+				if err != nil {
+					return err
+				}
+				if nc.Size() != n-1 {
+					return fmt.Errorf("shrunk size %d, want %d", nc.Size(), n-1)
+				}
+				// Ordinary collectives work on the shrunken communicator.
+				if got := nc.AllreduceI64([]int64{1}, OpSum)[0]; got != int64(n-1) {
+					return fmt.Errorf("shrunk Allreduce %d, want %d", got, n-1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d victim=%d: %v", n, victim, err)
+			}
+			if len(failedSets) != n-1 {
+				t.Fatalf("n=%d victim=%d: %d survivors reported, want %d", n, victim, len(failedSets), n-1)
+			}
+			for r, failed := range failedSets {
+				if len(failed) != 1 || failed[0] != victim {
+					t.Fatalf("n=%d victim=%d: rank %d saw failed set %v", n, victim, r, failed)
+				}
+			}
+		}
+	}
+}
+
+// TestFTDieDuringPointToPoint covers the other blocking shapes: a recv
+// from the dead rank and a send toward the dead rank (which is dropped,
+// not queued) both resolve without hanging.
+func TestFTDieDuringPointToPoint(t *testing.T) {
+	err := RunFT(3, DefaultNet(), ftTestTimeout, func(c *Comm) error {
+		switch c.Rank() {
+		case 2:
+			c.Die(errors.New("test kill"))
+		case 1:
+			// Recv blocked on the dead rank: must unwind as ErrRevoked.
+			cerr := CatchRevoked(func() error {
+				c.Recv(2, 7)
+				return nil
+			})
+			if _, ok := AsRevoked(cerr); !ok {
+				return fmt.Errorf("rank 1: got %v, want ErrRevoked", cerr)
+			}
+		case 0:
+			// Send to the dead rank completes (dropped); the next receive
+			// from a dead peer still revokes.
+			c.Send(2, 7, []byte("x"))
+			cerr := CatchRevoked(func() error {
+				c.Recv(2, 8)
+				return nil
+			})
+			if _, ok := AsRevoked(cerr); !ok {
+				return fmt.Errorf("rank 0: got %v, want ErrRevoked", cerr)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFTOperationsAfterRevokePanic: once revoked, any regular operation on
+// the communicator panics ErrRevoked — repeatedly, not just the first.
+func TestFTOperationsAfterRevokePanic(t *testing.T) {
+	err := RunFT(2, DefaultNet(), ftTestTimeout, func(c *Comm) error {
+		if c.Rank() == 1 {
+			c.Die(errors.New("test kill"))
+		}
+		for i := 0; i < 3; i++ {
+			cerr := CatchRevoked(func() error {
+				c.Barrier()
+				return nil
+			})
+			if _, ok := AsRevoked(cerr); !ok {
+				return fmt.Errorf("attempt %d: got %v, want ErrRevoked", i, cerr)
+			}
+		}
+		if !c.Revoked() {
+			return errors.New("Revoked() = false after revocation")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFTAgreeFTHealthy: with no failure, AgreeFT is AllreduceI64 on every
+// communicator size and both ops used by the failover.
+func TestFTAgreeFTHealthy(t *testing.T) {
+	for _, n := range testSizes {
+		err := RunFT(n, DefaultNet(), ftTestTimeout, func(c *Comm) error {
+			got := c.AgreeFT([]int64{int64(c.Rank()), -int64(c.Rank())}, OpMin)
+			if got[0] != 0 || got[1] != -int64(n-1) {
+				return fmt.Errorf("AgreeFT min = %v", got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// TestFTShrinkErrors: Shrink demands a detector and a revocation.
+func TestFTShrinkErrors(t *testing.T) {
+	if err := Run(2, DefaultNet(), func(c *Comm) error {
+		if _, err := c.Shrink(); !errors.Is(err, ErrWorldFT) {
+			return fmt.Errorf("no-detector Shrink: %v, want ErrWorldFT", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunFT(2, DefaultNet(), ftTestTimeout, func(c *Comm) error {
+		if _, err := c.Shrink(); err == nil {
+			return errors.New("healthy Shrink succeeded, want error")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFTShrinkRanksDense: the shrunken communicator renumbers survivors
+// densely in old-rank order and maps messages independently of the old
+// communicator.
+func TestFTShrinkRanksDense(t *testing.T) {
+	const n, victim = 5, 2
+	err := RunFT(n, DefaultNet(), ftTestTimeout, func(c *Comm) error {
+		if c.Rank() == victim {
+			c.Die(errors.New("test kill"))
+		}
+		cerr := CatchRevoked(func() error { c.Barrier(); return nil })
+		if _, ok := AsRevoked(cerr); !ok {
+			return fmt.Errorf("got %v, want ErrRevoked", cerr)
+		}
+		nc, err := c.Shrink()
+		if err != nil {
+			return err
+		}
+		want := c.Rank()
+		if c.Rank() > victim {
+			want--
+		}
+		if nc.Rank() != want {
+			return fmt.Errorf("old rank %d: shrunk rank %d, want %d", c.Rank(), nc.Rank(), want)
+		}
+		// Point-to-point on the shrunken communicator.
+		if nc.Rank() == 0 {
+			for r := 1; r < nc.Size(); r++ {
+				if got, _ := nc.Recv(r, 1); len(got) != r {
+					return fmt.Errorf("shrunk recv from %d: %d bytes", r, len(got))
+				}
+			}
+		} else {
+			nc.Send(0, 1, make([]byte, nc.Rank()))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFTRunFTCleanOverhead: a fault-free world with the detector armed
+// behaves identically (same results, no revocations).
+func TestFTRunFTCleanOverhead(t *testing.T) {
+	for _, n := range testSizes {
+		err := RunFT(n, DefaultNet(), ftTestTimeout, func(c *Comm) error {
+			for i := 0; i < 50; i++ {
+				if got := c.AllreduceI64([]int64{1}, OpSum)[0]; got != int64(n) {
+					return fmt.Errorf("Allreduce %d, want %d", got, n)
+				}
+			}
+			if c.Revoked() {
+				return errors.New("clean run revoked")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// TestFTEnvTimeout: Run picks the detector up from PNETCDF_FT_TIMEOUT, and
+// ignores garbage.
+func TestFTEnvTimeout(t *testing.T) {
+	t.Setenv(FTTimeoutEnv, "25ms")
+	if err := Run(2, DefaultNet(), func(c *Comm) error {
+		if !c.FTEnabled() {
+			return errors.New("detector off with PNETCDF_FT_TIMEOUT set")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"nonsense", "-3s", "0"} {
+		t.Setenv(FTTimeoutEnv, bad)
+		if err := Run(2, DefaultNet(), func(c *Comm) error {
+			if c.FTEnabled() {
+				return fmt.Errorf("detector on with %s=%q", FTTimeoutEnv, bad)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFTDetectorDisabledIsFree: without the env var, Run worlds carry no
+// ftState at all — the hot paths stay on their pre-FT fast path.
+func TestFTDetectorDisabledIsFree(t *testing.T) {
+	if err := Run(2, DefaultNet(), func(c *Comm) error {
+		if c.FTEnabled() {
+			return errors.New("detector on by default")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAgreeErrorShapes pins AgreeError semantics the failover leans on:
+// nil everywhere, a single failure, and a multi-error built with
+// errors.Join all agree symmetrically.
+func TestAgreeErrorShapes(t *testing.T) {
+	sentinel1 := errors.New("first")
+	sentinel2 := errors.New("second")
+	for _, n := range []int{1, 2, 4, 5} {
+		runOrFatal(t, n, func(c *Comm) error {
+			if err := c.AgreeError(nil); err != nil {
+				return fmt.Errorf("all-nil AgreeError = %v", err)
+			}
+			// One rank contributes a joined multi-error: it gets its own
+			// error back, everyone else ErrPeerFailed.
+			var mine error
+			if c.Rank() == n-1 {
+				mine = errors.Join(sentinel1, sentinel2)
+			}
+			got := c.AgreeError(mine)
+			if c.Rank() == n-1 {
+				if !errors.Is(got, sentinel1) || !errors.Is(got, sentinel2) {
+					return fmt.Errorf("joined error lost components: %v", got)
+				}
+			} else if !errors.Is(got, ErrPeerFailed) {
+				return fmt.Errorf("peer rank got %v, want ErrPeerFailed", got)
+			}
+			// Everyone failing returns each rank its own error.
+			all := c.AgreeError(sentinel2)
+			if !errors.Is(all, sentinel2) {
+				return fmt.Errorf("all-fail AgreeError = %v", all)
+			}
+			return nil
+		})
+	}
+}
+
+// TestAgreeSamePayloads pins AgreeSame on empty, nil-vs-empty, and
+// non-UTF-8 payloads — it must compare raw bytes, not strings.
+func TestAgreeSamePayloads(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		runOrFatal(t, n, func(c *Comm) error {
+			if !c.AgreeSame(nil) {
+				return errors.New("nil payloads disagree")
+			}
+			if !c.AgreeSame([]byte{}) {
+				return errors.New("empty payloads disagree")
+			}
+			bin := []byte{0xff, 0xfe, 0x00, 0x80, 0xc3}
+			if !c.AgreeSame(bin) {
+				return errors.New("identical non-UTF-8 payloads disagree")
+			}
+			if n > 1 {
+				diff := append([]byte(nil), bin...)
+				if c.Rank() == n-1 {
+					diff[0] = 0x00
+				}
+				if c.AgreeSame(diff) {
+					return errors.New("differing payloads agree")
+				}
+				short := bin
+				if c.Rank() == 0 {
+					short = bin[:3]
+				}
+				if c.AgreeSame(short) {
+					return errors.New("different-length payloads agree")
+				}
+			}
+			return nil
+		})
+	}
+}

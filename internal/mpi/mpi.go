@@ -25,6 +25,7 @@ import (
 	"math"
 	"os"
 	"sync"
+	"time"
 
 	"pnetcdf/internal/iostat"
 	"pnetcdf/internal/span"
@@ -87,6 +88,10 @@ type World struct {
 	// ccheck is the collective-sequence registry; nil unless
 	// PNETCDF_CHECK_COLLECTIVES=1 (see collcheck.go).
 	ccheck *collCheck
+
+	// ft is the failure-detector state; nil (the default) keeps today's
+	// semantics where a dead rank hangs its peers (see ft.go).
+	ft *ftState
 }
 
 // ErrAborted is returned by operations on a world where some rank called
@@ -158,18 +163,39 @@ type Comm struct {
 	group []int // world ranks of the members, indexed by comm rank
 	ctx   int64 // context base: commID << 32
 	seq   int64 // per-rank collective sequence; in lockstep across members
+
+	// Post-revocation state (ft.go): the highest revocation generation this
+	// rank has observed (for once-per-generation detection accounting) and
+	// the per-generation sequence of the reserved agreement context band.
+	ftObserved int
+	ftGen      int
+	ftSeq      int64
 }
 
 // Run executes fn on n simulated ranks and blocks until all complete. Each
 // rank receives the world communicator. The first non-nil error (or panic)
-// aborts the world and is returned.
+// aborts the world and is returned. With PNETCDF_FT_TIMEOUT set to a
+// positive duration the failure detector is armed (ft.go).
 func Run(n int, net NetConfig, fn func(*Comm) error) error {
+	return runWorld(n, net, ftTimeoutFromEnv(), fn)
+}
+
+// RunFT is Run with the failure detector armed at an explicit deadline,
+// for tests that must not depend on ambient environment variables.
+func RunFT(n int, net NetConfig, timeout time.Duration, fn func(*Comm) error) error {
+	return runWorld(n, net, timeout, fn)
+}
+
+func runWorld(n int, net NetConfig, ftTimeout time.Duration, fn func(*Comm) error) error {
 	if n < 1 {
 		return fmt.Errorf("mpi: invalid world size %d", n)
 	}
 	w := &World{size: n, net: net, boxes: make([]*mailbox, n)}
 	if os.Getenv(collCheckEnv) == "1" {
 		w.ccheck = newCollCheck()
+	}
+	if ftTimeout > 0 {
+		w.ft = newFTState(n, ftTimeout)
 	}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
@@ -189,6 +215,13 @@ func Run(n int, net NetConfig, fn func(*Comm) error) error {
 					if err, ok := rec.(error); ok && errors.Is(err, ErrAborted) {
 						return // unwound by another rank's abort
 					}
+					if _, ok := rec.(rankKilled); ok {
+						// Simulated crash (Comm.Die): this rank just stops.
+						// Its peers hang or — with the detector armed —
+						// revoke and fail over; either way the world's fate
+						// is theirs to decide, not an abort.
+						return
+					}
 					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
 					w.abort(errs[rank])
 				}
@@ -201,7 +234,40 @@ func Run(n int, net NetConfig, fn func(*Comm) error) error {
 			}
 		}(r)
 	}
+	var tickStop chan struct{}
+	var tickWG sync.WaitGroup
+	if w.ft != nil {
+		// The detector's heartbeat: wake blocked receivers so wall-clock
+		// deadlines fire even with no message traffic. Period well under
+		// the deadline, clamped so tiny test timeouts do not spin.
+		period := w.ft.timeout / 4
+		if period < time.Millisecond {
+			period = time.Millisecond
+		}
+		if period > 50*time.Millisecond {
+			period = 50 * time.Millisecond
+		}
+		tickStop = make(chan struct{})
+		tickWG.Add(1)
+		go func() {
+			defer tickWG.Done()
+			t := time.NewTicker(period)
+			defer t.Stop()
+			for {
+				select {
+				case <-tickStop:
+					return
+				case <-t.C:
+					w.broadcastAll()
+				}
+			}
+		}()
+	}
 	wg.Wait()
+	if tickStop != nil {
+		close(tickStop)
+		tickWG.Wait()
+	}
 	for _, e := range errs {
 		if e != nil {
 			return e
@@ -256,8 +322,26 @@ func (w *World) transferTime(nbytes int) float64 {
 // send delivers data from the calling rank to comm rank dst under context
 // ctx. The payload is copied, making sends eager and deadlock-free.
 func (c *Comm) send(dst, tag int, ctx int64, data []byte) {
+	c.sendCore(dst, tag, ctx, data, false)
+}
+
+// sendCore implements send. In ftMode (post-revocation traffic) the
+// revocation check is skipped — the caller IS the revocation handler.
+// Either way a send to a dead rank is dropped: nobody will ever read it,
+// and a crash between the peer's send and our delivery is exactly the
+// reordering a real network exhibits.
+func (c *Comm) sendCore(dst, tag int, ctx int64, data []byte, ftMode bool) {
 	if dst < 0 || dst >= len(c.group) {
 		c.Abort(fmt.Errorf("mpi: send to invalid rank %d (size %d)", dst, len(c.group)))
+	}
+	if ft := c.world.ft; ft != nil {
+		if !ftMode {
+			c.ftCheckRevoked(nil)
+		}
+		if ft.deadN.Load() != 0 && ft.dead[c.group[dst]].Load() {
+			c.proc.clock += c.world.net.SendOverhead
+			return
+		}
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
@@ -276,12 +360,27 @@ func (c *Comm) send(dst, tag int, ctx int64, data []byte) {
 // returns it, advancing the virtual clock to the arrival time. Wildcards
 // (AnySource/AnyTag) apply to src and tag; ctx always matches exactly.
 func (c *Comm) recv(src, tag int, ctx int64) message {
+	return c.recvCore(src, tag, ctx, nil)
+}
+
+// recvCore implements recv. With the failure detector armed it is also the
+// detection point: a revoked communicator unwinds the receive with
+// *ErrRevoked (unless pinned to that same revocation generation — the
+// post-revocation agreement receives through here too), and a receive
+// blocked past the deadline while a group member is dead revokes the
+// communicator itself. The revocation broadcast locks every mailbox, so
+// the deadline path drops this rank's box lock around it.
+func (c *Comm) recvCore(src, tag int, ctx int64, pinned *revokeInfo) message {
 	box := c.world.boxes[c.group[c.rank]]
 	box.mu.Lock()
 	defer box.mu.Unlock()
+	var waitStart time.Time
 	for {
 		if box.aborted {
 			panic(ErrAborted)
+		}
+		if c.world.ft != nil {
+			c.ftCheckRevoked(pinned)
 		}
 		for i, m := range box.queue {
 			if m.ctx != ctx {
@@ -296,6 +395,14 @@ func (c *Comm) recv(src, tag int, ctx int64) message {
 			box.queue = append(box.queue[:i], box.queue[i+1:]...)
 			c.proc.clock = math.Max(c.proc.clock, m.arrival)
 			return m
+		}
+		if c.world.ft != nil {
+			if waitStart.IsZero() {
+				waitStart = time.Now()
+			}
+			if c.ftCheckDeadline(box, waitStart, pinned) {
+				continue // revocation raised; the check above fires next
+			}
 		}
 		box.cond.Wait()
 	}
@@ -332,6 +439,12 @@ func (c *Comm) Sendrecv(dst, sendTag int, sendData []byte, src, recvTag int) ([]
 // the world's sequence registry, which aborts on a cross-rank mismatch
 // instead of letting the run deadlock (collcheck.go).
 func (c *Comm) nextOpCtx(op string) int64 {
+	if c.world.ft != nil {
+		// A collective on a revoked communicator can never complete; fail
+		// it before any message moves (recv would catch it anyway, but
+		// root-only send patterns like Scatter would first leak sends).
+		c.ftCheckRevoked(nil)
+	}
 	c.seq++
 	c.proc.stats.Add(iostat.MPICollectives, 1)
 	ctx := c.ctx | (c.seq & 0x7FFFFFFF)

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"pnetcdf/internal/bufpool"
+	"pnetcdf/internal/fault"
 	"pnetcdf/internal/iostat"
 	"pnetcdf/internal/mpi"
 	"pnetcdf/internal/pfs"
@@ -81,7 +82,10 @@ func (f *File) usePipeline(plan collectivePlan) bool {
 
 // WriteAtAll collectively writes len(buf) view-data bytes at view offset
 // off. Every communicator member must call it (possibly with an empty
-// buffer).
+// buffer). With the failure detector armed, a peer crash mid-collective
+// surfaces here as a communicator revocation; the failover path
+// (failover.go) drains, shrinks, and replays the incomplete rounds over
+// the survivors.
 func (f *File) WriteAtAll(off int64, buf []byte) error {
 	if f.closed {
 		return ErrClosed
@@ -97,17 +101,42 @@ func (f *File) WriteAtAll(off int64, buf []byte) error {
 	sc := f.sp.Begin(span.CollWrite)
 	defer sc.End()
 	sc.SetBytes(int64(len(buf)))
-	segs, err := f.viewSegments(off, int64(len(buf)))
 	t0 := f.comm.Clock()
+	var prog ftProgress
+	cerr := mpi.CatchRevoked(func() error {
+		segs, vErr := f.viewSegments(off, int64(len(buf)))
+		return f.collWriteSegs(segs, buf, vErr, &prog, t0)
+	})
+	if rv, ok := mpi.AsRevoked(cerr); ok {
+		// A second revocation during the failover (a cascading failure)
+		// surfaces as *ErrRevoked again — best-effort, DESIGN.md §8.
+		cerr = mpi.CatchRevoked(func() error {
+			return f.failoverWrite(off, buf, &prog, rv, t0)
+		})
+	}
+	return cerr
+}
+
+// collWriteSegs runs the two-phase collective write over an explicit
+// segment list whose payload is the linearized buf (bufPos i maps through
+// segPrefix). WriteAtAll calls it with the view mapping of its request;
+// the failover path calls it again on the shrunken communicator with the
+// unfinished clip of the same request. prog (may be nil) records how far
+// the call provably got, for the failover's resume-point agreement.
+func (f *File) collWriteSegs(segs []pfs.Segment, buf []byte, vErr error, prog *ftProgress, t0 float64) error {
+	n := segsLen(segs)
 	sPlan := f.sp.Begin(span.Plan)
-	plan, ok, err := f.collectivePlan(segs, err)
+	plan, ok, err := f.collectivePlan(segs, vErr)
 	sPlan.End()
 	if err != nil {
 		return f.agreeAbort(err)
 	}
+	if prog != nil {
+		prog.planOK, prog.plan = true, plan
+	}
 	if !ok {
 		f.recordAccess("coll_write", iostat.IOCollWriteCalls, iostat.IOBytesWritten,
-			iostat.IOWriteExtents, iostat.IOWriteTimeNs, segs, int64(len(buf)), t0)
+			iostat.IOWriteExtents, iostat.IOWriteTimeNs, segs, n, t0)
 		return nil // nobody has data
 	}
 	myAgg := plan.aggIndex(f.comm.Rank())
@@ -119,16 +148,16 @@ func (f *File) WriteAtAll(off int64, buf []byte) error {
 	spans := plan.spans(segs)
 	var cerr error
 	if f.usePipeline(plan) {
-		cerr = f.writeRoundsPipelined(plan, segs, prefix, spans, buf, myAgg)
+		cerr = f.writeRoundsPipelined(plan, segs, prefix, spans, buf, myAgg, prog)
 	} else {
-		cerr = f.writeRoundsSerial(plan, segs, prefix, spans, buf, myAgg)
+		cerr = f.writeRoundsSerial(plan, segs, prefix, spans, buf, myAgg, prog)
 	}
 	if cerr != nil {
 		return f.agreeAbort(cerr)
 	}
 	f.st.Add(iostat.IOTwoPhaseRounds, plan.rounds)
 	f.recordAccess("coll_write", iostat.IOCollWriteCalls, iostat.IOBytesWritten,
-		iostat.IOWriteExtents, iostat.IOWriteTimeNs, segs, int64(len(buf)), t0)
+		iostat.IOWriteExtents, iostat.IOWriteTimeNs, segs, n, t0)
 	return nil
 }
 
@@ -159,11 +188,13 @@ func (f *File) packWriteRound(plan collectivePlan, segs []pfs.Segment, prefix []
 // aggregator write → error agreement, one round fully finished before the
 // next begins. It returns the agreed error (identical on every rank).
 func (f *File) writeRoundsSerial(plan collectivePlan, segs []pfs.Segment, prefix []int64,
-	spans []segSpan, buf []byte, myAgg int) error {
+	spans []segSpan, buf []byte, myAgg int, prog *ftProgress) error {
 	parts := make([][]byte, f.comm.Size())
 	var scratch []reqSeg
 	var entries []writeEntry
+	kill := f.killHook(fault.KillMidExchange)
 	for r := int64(0); r < plan.rounds; r++ {
+		f.killPoint(fault.KillBeforePack)
 		sRound := f.sp.Begin(span.Round)
 		sRound.SetRound(int(r))
 		// Phase 1: each rank slices its request per aggregator window and
@@ -172,7 +203,7 @@ func (f *File) writeRoundsSerial(plan collectivePlan, segs []pfs.Segment, prefix
 		scratch = f.packWriteRound(plan, segs, prefix, spans, buf, r, parts, scratch, sPack)
 		sPack.End()
 		sXchg := f.sp.Begin(span.Exchange)
-		msgs := sparseExchange(f.comm, parts, roundTag(r, 0))
+		msgs := sparseExchange(f.comm, parts, roundTag(r, 0), kill)
 		sXchg.End()
 		// Phase 2: aggregators issue large vectored writes whose iovec points
 		// straight into the received message payloads — no coalescing copy
@@ -204,12 +235,16 @@ func (f *File) writeRoundsSerial(plan collectivePlan, segs []pfs.Segment, prefix
 			sRound.End()
 			return err
 		}
+		prog.roundAgreed(r)
 		sRound.End()
 	}
 	return nil
 }
 
 // ReadAtAll collectively reads len(buf) view-data bytes at view offset off.
+// Like WriteAtAll, a peer crash mid-collective fails over to the
+// survivors; reads always recover fully (the file is intact, only the
+// dead rank's own buffer is lost with it).
 func (f *File) ReadAtAll(off int64, buf []byte) error {
 	if f.closed {
 		return ErrClosed
@@ -220,36 +255,55 @@ func (f *File) ReadAtAll(off int64, buf []byte) error {
 	sc := f.sp.Begin(span.CollRead)
 	defer sc.End()
 	sc.SetBytes(int64(len(buf)))
-	segs, err := f.viewSegments(off, int64(len(buf)))
 	t0 := f.comm.Clock()
+	var prog ftProgress
+	cerr := mpi.CatchRevoked(func() error {
+		segs, vErr := f.viewSegments(off, int64(len(buf)))
+		return f.collReadSegs(segs, buf, vErr, &prog, t0)
+	})
+	if rv, ok := mpi.AsRevoked(cerr); ok {
+		cerr = mpi.CatchRevoked(func() error {
+			return f.failoverRead(off, buf, &prog, rv, t0)
+		})
+	}
+	return cerr
+}
+
+// collReadSegs runs the two-phase collective read over an explicit segment
+// list filling the linearized buf; see collWriteSegs.
+func (f *File) collReadSegs(segs []pfs.Segment, buf []byte, vErr error, prog *ftProgress, t0 float64) error {
+	n := segsLen(segs)
 	sPlan := f.sp.Begin(span.Plan)
-	plan, ok, err := f.collectivePlan(segs, err)
+	plan, ok, err := f.collectivePlan(segs, vErr)
 	sPlan.End()
 	if err != nil {
 		return f.agreeAbort(err)
 	}
+	if prog != nil {
+		prog.planOK, prog.plan = true, plan
+	}
 	if !ok {
 		f.recordAccess("coll_read", iostat.IOCollReadCalls, iostat.IOBytesRead,
-			iostat.IOReadExtents, iostat.IOReadTimeNs, segs, int64(len(buf)), t0)
+			iostat.IOReadExtents, iostat.IOReadTimeNs, segs, n, t0)
 		return nil
 	}
 	myAgg := plan.aggIndex(f.comm.Rank())
-	// Hoisted out of the round loop (see WriteAtAll): prefix sums and the
-	// per-aggregator segment spans.
+	// Hoisted out of the round loop (see collWriteSegs): prefix sums and
+	// the per-aggregator segment spans.
 	prefix := segPrefix(segs)
 	spans := plan.spans(segs)
 	var cerr error
 	if f.usePipeline(plan) {
-		cerr = f.readRoundsPipelined(plan, segs, prefix, spans, buf, myAgg)
+		cerr = f.readRoundsPipelined(plan, segs, prefix, spans, buf, myAgg, prog)
 	} else {
-		cerr = f.readRoundsSerial(plan, segs, prefix, spans, buf, myAgg)
+		cerr = f.readRoundsSerial(plan, segs, prefix, spans, buf, myAgg, prog)
 	}
 	if cerr != nil {
 		return f.agreeAbort(cerr)
 	}
 	f.st.Add(iostat.IOTwoPhaseRounds, plan.rounds)
 	f.recordAccess("coll_read", iostat.IOCollReadCalls, iostat.IOBytesRead,
-		iostat.IOReadExtents, iostat.IOReadTimeNs, segs, int64(len(buf)), t0)
+		iostat.IOReadExtents, iostat.IOReadTimeNs, segs, n, t0)
 	return nil
 }
 
@@ -317,12 +371,14 @@ func scatterReplies(buf []byte, myReqs [][]reqSeg, back [][]byte) {
 // aggregator read → agreement → reply exchange → scatter, one round at a
 // time. It returns the agreed error (identical on every rank).
 func (f *File) readRoundsSerial(plan collectivePlan, segs []pfs.Segment, prefix []int64,
-	spans []segSpan, buf []byte, myAgg int) error {
+	spans []segSpan, buf []byte, myAgg int, prog *ftProgress) error {
 	parts := make([][]byte, f.comm.Size())
 	replies := make([][]byte, f.comm.Size())
 	myReqs := make([][]reqSeg, f.comm.Size()) // agg rank -> requests, in order
 	reqBufs := make([][]reqSeg, plan.naggs)
+	kill := f.killHook(fault.KillMidExchange)
 	for r := int64(0); r < plan.rounds; r++ {
+		f.killPoint(fault.KillBeforePack)
 		sRound := f.sp.Begin(span.Round)
 		sRound.SetRound(int(r))
 		// Phase 1: ship request segment lists to aggregators; remember the
@@ -331,7 +387,7 @@ func (f *File) readRoundsSerial(plan collectivePlan, segs []pfs.Segment, prefix 
 		f.packReadRound(plan, segs, prefix, spans, r, parts, myReqs, reqBufs, sPack)
 		sPack.End()
 		sXchg := f.sp.Begin(span.Exchange)
-		msgs := sparseExchange(f.comm, parts, roundTag(r, 0))
+		msgs := sparseExchange(f.comm, parts, roundTag(r, 0), kill)
 		sXchg.End()
 		// Phase 2: aggregators read merged coverage and reply per source.
 		clear(replies)
@@ -368,13 +424,14 @@ func (f *File) readRoundsSerial(plan collectivePlan, segs []pfs.Segment, prefix 
 			return err
 		}
 		sReply := f.sp.Begin(span.ReplyXchg)
-		back := sparseExchange(f.comm, replies, roundTag(r, 1))
+		back := sparseExchange(f.comm, replies, roundTag(r, 1), nil)
 		sReply.End()
 		// Scatter replies into buf.
 		sScatter := f.sp.Begin(span.Scatter)
 		scatterReplies(buf, myReqs, back)
 		sScatter.End()
 		recycleRound(replies, back, f.comm.Rank())
+		prog.roundAgreed(r)
 		sRound.End()
 	}
 	return nil
@@ -603,8 +660,11 @@ func recycleRound(parts, msgs [][]byte, self int) {
 // sparseExchange delivers parts[dst] to each dst with a non-nil entry and
 // returns the blobs this rank received, indexed by source (nil when a source
 // sent nothing). The expected receive count is agreed via an Allreduce, as
-// ROMIO exchanges counts before payloads.
-func sparseExchange(c *mpi.Comm, parts [][]byte, tag int) [][]byte {
+// ROMIO exchanges counts before payloads. kill, when non-nil, is the
+// mid-exchange rank-kill hook: it runs after this rank's sends are out but
+// before its receives complete — the window where a crash strands both the
+// count agreement's promises and the peers' pending receives.
+func sparseExchange(c *mpi.Comm, parts [][]byte, tag int, kill func()) [][]byte {
 	counts := make([]int64, c.Size())
 	for dst, p := range parts {
 		if p != nil {
@@ -616,6 +676,9 @@ func sparseExchange(c *mpi.Comm, parts [][]byte, tag int) [][]byte {
 		if p != nil && dst != c.Rank() {
 			c.Send(dst, tag, p)
 		}
+	}
+	if kill != nil {
+		kill()
 	}
 	out := make([][]byte, c.Size())
 	expect := int(totals[c.Rank()])

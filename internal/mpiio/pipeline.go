@@ -36,6 +36,7 @@ package mpiio
 
 import (
 	"pnetcdf/internal/bufpool"
+	"pnetcdf/internal/fault"
 	"pnetcdf/internal/iostat"
 	"pnetcdf/internal/pfs"
 	"pnetcdf/internal/span"
@@ -62,7 +63,7 @@ type pendingWrite struct {
 // writeRoundsPipelined runs the write rounds as a depth-2 pipeline. The
 // returned error is already agreed (identical on every rank).
 func (f *File) writeRoundsPipelined(plan collectivePlan, segs []pfs.Segment, prefix []int64,
-	spans []segSpan, buf []byte, myAgg int) error {
+	spans []segSpan, buf []byte, myAgg int, prog *ftProgress) error {
 	var gens [2]roundBufs
 	for g := range gens {
 		gens[g].parts = make([][]byte, f.comm.Size())
@@ -70,6 +71,23 @@ func (f *File) writeRoundsPipelined(plan collectivePlan, segs []pfs.Segment, pre
 	var scratch []reqSeg
 	var entries []writeEntry
 	var pend pendingWrite
+	// A communicator revocation unwinds this loop as a panic from any of
+	// its collectives. Before the failover above replays rounds, the
+	// in-flight async write must be joined — a background WriteVec racing
+	// the replay could interleave stale bytes — and both buffer
+	// generations released (PutAll nils slots, so a partially recycled
+	// generation is safe to recycle again).
+	defer func() {
+		if rec := recover(); rec != nil {
+			if pend.active && pend.op != nil {
+				pend.op.Wait()
+			}
+			for g := range gens {
+				recycleRound(gens[g].parts, gens[g].msgs, f.comm.Rank())
+			}
+			panic(rec)
+		}
+	}()
 
 	// finish completes the in-flight round: join its write (advancing the
 	// rank clock and crediting io_overlap_ns), record the agg_write span
@@ -89,11 +107,18 @@ func (f *File) writeRoundsPipelined(plan collectivePlan, segs []pfs.Segment, pre
 			// the owning round span closed before the write completed.
 			f.sp.Record(span.AggWrite, int(pend.r), pend.issued, f.comm.Clock(), pend.bytes)
 		}
+		pend.op = nil
 		recycleRound(gens[pend.g].parts, gens[pend.g].msgs, f.comm.Rank())
-		return f.comm.AgreeError(roundErr)
+		if err := f.comm.AgreeError(roundErr); err != nil {
+			return err
+		}
+		prog.roundAgreed(pend.r)
+		return nil
 	}
 
+	kill := f.killHook(fault.KillMidExchange)
 	for r := int64(0); r < plan.rounds; r++ {
+		f.killPoint(fault.KillBeforePack)
 		g := int(r & 1)
 		// Frontend of round r: pack and exchange while round r-1's write is
 		// still in flight. The round span covers only this frontend; the
@@ -104,7 +129,7 @@ func (f *File) writeRoundsPipelined(plan collectivePlan, segs []pfs.Segment, pre
 		scratch = f.packWriteRound(plan, segs, prefix, spans, buf, r, gens[g].parts, scratch, sPack)
 		sPack.End()
 		sXchg := f.sp.Begin(span.Exchange)
-		gens[g].msgs = sparseExchange(f.comm, gens[g].parts, roundTag(r, 0))
+		gens[g].msgs = sparseExchange(f.comm, gens[g].parts, roundTag(r, 0), kill)
 		sXchg.End()
 		sRound.End()
 		// Deferred boundary: only now wait on round r-1's write and agree
@@ -130,6 +155,7 @@ func (f *File) writeRoundsPipelined(plan collectivePlan, segs []pfs.Segment, pre
 				pend.retry = func(t float64) (float64, error) {
 					return f.pf.WriteVec(t, wsegs, iov)
 				}
+				f.killPoint(fault.KillAfterIssue)
 			}
 		}
 	}
@@ -157,7 +183,7 @@ type pendingRead struct {
 // exchange and scatter, so it is in flight while they run. The returned
 // error is already agreed (identical on every rank).
 func (f *File) readRoundsPipelined(plan collectivePlan, segs []pfs.Segment, prefix []int64,
-	spans []segSpan, buf []byte, myAgg int) error {
+	spans []segSpan, buf []byte, myAgg int, prog *ftProgress) error {
 	var gens [2]roundBufs
 	var myReqs, reqBufs [2][][]reqSeg
 	for g := range gens {
@@ -167,13 +193,32 @@ func (f *File) readRoundsPipelined(plan collectivePlan, segs []pfs.Segment, pref
 	}
 	replies := make([][]byte, f.comm.Size())
 	var pend pendingRead
+	// Revocation drain, mirroring writeRoundsPipelined: join the in-flight
+	// read-ahead and release its coverage plus both generations before the
+	// failover replays (see that loop's comment).
+	defer func() {
+		if rec := recover(); rec != nil {
+			if pend.active && pend.op != nil {
+				pend.op.Wait()
+			}
+			if pend.cov != nil {
+				bufpool.Put(pend.cov.data)
+			}
+			for g := range gens {
+				recycleRound(gens[g].parts, gens[g].msgs, f.comm.Rank())
+			}
+			panic(rec)
+		}
+	}()
 
 	// frontend packs round r, exchanges its request lists, and issues the
 	// aggregator's coverage read asynchronously. The request exchange
 	// buffers are released immediately — decodeReadMsgs copies the request
 	// segments out — but myReqs/reqBufs generations survive until round r's
 	// scatter.
+	kill := f.killHook(fault.KillMidExchange)
 	frontend := func(r int64) {
+		f.killPoint(fault.KillBeforePack)
 		g := int(r & 1)
 		sRound := f.sp.Begin(span.Round)
 		sRound.SetRound(int(r))
@@ -181,7 +226,7 @@ func (f *File) readRoundsPipelined(plan collectivePlan, segs []pfs.Segment, pref
 		f.packReadRound(plan, segs, prefix, spans, r, gens[g].parts, myReqs[g], reqBufs[g], sPack)
 		sPack.End()
 		sXchg := f.sp.Begin(span.Exchange)
-		gens[g].msgs = sparseExchange(f.comm, gens[g].parts, roundTag(r, 0))
+		gens[g].msgs = sparseExchange(f.comm, gens[g].parts, roundTag(r, 0), kill)
 		sXchg.End()
 		sRound.End()
 		pend = pendingRead{active: true, g: g, r: r, issued: f.comm.Clock()}
@@ -194,6 +239,7 @@ func (f *File) readRoundsPipelined(plan collectivePlan, segs []pfs.Segment, pref
 				pend.retry = func(t float64) (float64, error) {
 					return f.pf.ReadV(t, cov.segs, cov.data)
 				}
+				f.killPoint(fault.KillAfterIssue)
 			}
 		}
 		recycleRound(gens[g].parts, gens[g].msgs, f.comm.Rank())
@@ -231,7 +277,7 @@ func (f *File) readRoundsPipelined(plan collectivePlan, segs []pfs.Segment, pref
 		// closed during the frontend); tag them with their round.
 		sReply := f.sp.Begin(span.ReplyXchg)
 		sReply.SetRound(int(r))
-		back := sparseExchange(f.comm, replies, roundTag(r, 1))
+		back := sparseExchange(f.comm, replies, roundTag(r, 1), nil)
 		sReply.End()
 		sScatter := f.sp.Begin(span.Scatter)
 		sScatter.SetRound(int(r))
@@ -241,6 +287,7 @@ func (f *File) readRoundsPipelined(plan collectivePlan, segs []pfs.Segment, pref
 		if cur.cov != nil {
 			bufpool.Put(cur.cov.data)
 		}
+		prog.roundAgreed(r)
 	}
 	f.st.Add(iostat.IOPipelinedRounds, plan.rounds)
 	// The read-ahead issued by frontend(r+1) is loop-carried: it is always

@@ -20,6 +20,12 @@
 #   FAULT=1  re-run the fault-injection suites under the race detector and
 #            drive a FLASH checkpoint at a 1% transient fault rate with a
 #            fixed seed; the run must complete and account its retries.
+#   FT=1     rank-failure tolerance (DESIGN.md §8): run the rank-kill and
+#            revoke/shrink/failover suites under the race detector with an
+#            explicit timeout bound (a hang is the failure mode under
+#            test), then kill an aggregator mid-round in an 8-rank FLASH
+#            checkpoint; survivors must fail over, the file must be
+#            ncvalidate-clean, and ft_failover_rounds must be nonzero.
 #   TRACE=1  smoke the span pipeline: a small collective write with
 #            -span-out, then nctrace timeline/critical/imbalance over the
 #            emitted Chrome trace (which must parse and name a critical
@@ -82,11 +88,38 @@ if [ "${BENCH:-0}" = "1" ]; then
 fi
 
 if [ "${FAULT:-0}" = "1" ]; then
-    go test -race -run 'Fault|Crash|Retr|Agree|Short|Transient|Journal|Recover' \
+    # Explicit -timeout: these suites exercise crash/retry paths whose
+    # failure mode is a hang, so bound them well below the 10m default.
+    go test -race -timeout 300s \
+        -run 'Fault|Crash|Retr|Agree|Short|Transient|Journal|Recover' \
         ./internal/fault/ ./internal/cdf/ ./internal/netcdf/ \
         ./internal/mpiio/ ./internal/core/ ./internal/integration/
     go run ./cmd/flashio-bench -block 8 -procs 8 -blocks-per-proc 20 \
         -files checkpoint -fault-rate 0.01 -fault-seed 2003 -stats
+fi
+
+if [ "${FT:-0}" = "1" ]; then
+    # A dead rank must never hang a survivor: every FT suite runs under
+    # the race detector with a hard timeout (a hang IS the regression).
+    go test -race -timeout 300s -run 'FT|RankFailure|WaitAllEmpty|KillCheck' \
+        ./internal/mpi/ ./internal/fault/ ./internal/mpiio/ \
+        ./internal/integration/
+    # End-to-end: 8-rank FLASH checkpoint, aggregator rank 4 killed in the
+    # exchange phase (cb_nodes=2 places aggregators at ranks 0 and 4, so
+    # this exercises file-domain reassignment, not just a lost writer).
+    # Survivors detect, shrink, fail over; the file must validate and the
+    # counters must show the failover actually ran.
+    ftdir=$(mktemp -d)
+    go run ./cmd/flashio-bench -block 8 -procs 8 -blocks-per-proc 20 \
+        -files checkpoint -cb-buffer-size 65536 -cb-nodes 2 \
+        -ft-timeout 100ms -kill-rank 4 -kill-point mid_exchange \
+        -stats -json "$ftdir/ft.json" -out "$ftdir/ft.nc"
+    go run ./cmd/ncvalidate "$ftdir/ft.nc"
+    grep -q '"ft_failover_rounds": *[1-9]' "$ftdir/ft.json" \
+        || { echo "FT: ft_failover_rounds is zero after a rank kill" >&2; exit 1; }
+    grep -q '"ft_comm_shrinks": *[1-9]' "$ftdir/ft.json" \
+        || { echo "FT: no communicator shrink recorded" >&2; exit 1; }
+    rm -rf "$ftdir"
 fi
 
 if [ "${TRACE:-0}" = "1" ]; then
